@@ -1,0 +1,111 @@
+//! Closed-form worst-case latency analysis (paper §IV-C).
+//!
+//! For an interrupt request arriving at the start of a convolution layer:
+//!
+//! * layer-by-layer must finish the layer:
+//!   `t1_layer = Ch_in·Ch_out·H / (Para_in·Para_out·Para_height) · t_instr(W)`
+//! * the VI method must only finish the current CalcBlob:
+//!   `t1_VI = Ch_in / Para_in · t_instr(W)`
+//! * the ratio (Eq. 1): `R_l = (Para_out·Para_height) / (Ch_out·H)`.
+//!
+//! The module evaluates both the pure ratio and cycle-accurate worst cases
+//! through the calibrated cost model, so benches can check theory against
+//! the simulator.
+
+use inca_isa::{Instr, LayerMeta, Opcode, Parallelism, Tile};
+
+use crate::{instr_cycles, AccelConfig};
+
+/// Eq. 1 of the paper: worst-case VI latency as a fraction of
+/// layer-by-layer latency for a convolution layer.
+#[must_use]
+pub fn latency_reduction_ratio(p: Parallelism, ch_out: u32, h_out: u32) -> f64 {
+    f64::from(u32::from(p.output) * u32::from(p.height)) / (f64::from(ch_out) * f64::from(h_out))
+}
+
+/// Cycle cost of a single `CALC` of this layer under `cfg` (the paper's
+/// `t_instr(W)`).
+#[must_use]
+pub fn t_instr(cfg: &AccelConfig, meta: &LayerMeta) -> u64 {
+    let p = cfg.arch.parallelism;
+    let rows = u32::from(p.height).min(meta.out_shape.h) as u16;
+    let calc = Instr::calc(
+        Opcode::CalcF,
+        meta.id,
+        0,
+        Tile::new(0, rows, 0, p.output.min(meta.out_shape.c as u16), 0, p.input),
+    );
+    instr_cycles(cfg, meta, &calc)
+}
+
+/// Worst-case wait (cycles) for the layer-by-layer method: the whole layer.
+#[must_use]
+pub fn t1_layer_worst(cfg: &AccelConfig, meta: &LayerMeta) -> u64 {
+    let p = cfg.arch.parallelism;
+    let calcs = u64::from(meta.in_shape.c.div_ceil(u32::from(p.input)))
+        * u64::from(meta.out_shape.c.div_ceil(u32::from(p.output)))
+        * u64::from(meta.out_shape.h.div_ceil(u32::from(p.height)));
+    calcs * t_instr(cfg, meta)
+}
+
+/// Worst-case wait (cycles) for the VI method: one CalcBlob.
+#[must_use]
+pub fn t1_vi_worst(cfg: &AccelConfig, meta: &LayerMeta) -> u64 {
+    let p = cfg.arch.parallelism;
+    u64::from(meta.in_shape.c.div_ceil(u32::from(p.input))) * t_instr(cfg, meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_isa::{LayerKind, Shape3};
+
+    fn paper_medium_layer() -> LayerMeta {
+        // §IV-C worked example: 80x60 input, Ch_in = 48, Ch_out = 32.
+        LayerMeta {
+            id: 0,
+            name: "medium".into(),
+            kind: LayerKind::Conv { kernel: 3, stride: 1, pad: 1 },
+            in_shape: Shape3::new(48, 60, 80),
+            out_shape: Shape3::new(32, 60, 80),
+            input_addr: 0,
+            input2_addr: None,
+            output_addr: 0,
+            weight_addr: 0,
+            weight_bytes: 0,
+            quant_shift: 8,
+            relu: true,
+        }
+    }
+
+    #[test]
+    fn paper_worked_example_gives_1_7_percent() {
+        // Small accelerator: Para_in=8, Para_out=8, Para_height=4.
+        let p = Parallelism::new(8, 8, 4);
+        let r = latency_reduction_ratio(p, 32, 60);
+        assert!((r - 8.0 * 4.0 / (32.0 * 60.0)).abs() < 1e-12);
+        assert!((r - 0.0167).abs() < 0.001, "R_l = {r}, paper says 1.7%");
+    }
+
+    #[test]
+    fn cycle_accurate_ratio_tracks_the_formula() {
+        let cfg = AccelConfig::paper_small();
+        let m = paper_medium_layer();
+        let ratio = t1_vi_worst(&cfg, &m) as f64 / t1_layer_worst(&cfg, &m) as f64;
+        let formula = latency_reduction_ratio(cfg.arch.parallelism, 32, 60);
+        // The cycle model includes pipeline overheads, so allow slack.
+        assert!(
+            (ratio - formula).abs() / formula < 0.2,
+            "cycle ratio {ratio} vs formula {formula}"
+        );
+    }
+
+    #[test]
+    fn vi_worst_case_is_blob_sized() {
+        let cfg = AccelConfig::paper_big();
+        let m = paper_medium_layer();
+        // Ch_in=48 / Para_in=16 = 3 CALCs.
+        assert_eq!(t1_vi_worst(&cfg, &m), 3 * t_instr(&cfg, &m));
+        assert!(t1_vi_worst(&cfg, &m) < t1_layer_worst(&cfg, &m));
+    }
+}

@@ -1,0 +1,151 @@
+//! Execution backends: the engine drives one instruction stream through a
+//! [`Backend`], which gives the instructions *semantics* — either none at
+//! all (pure timing) or bit-exact int8 arithmetic ([`crate::FuncBackend`]).
+
+use inca_isa::{Instr, Program, TaskSlot};
+
+/// Errors raised while simulating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No program loaded in the requested slot.
+    EmptySlot(TaskSlot),
+    /// A CALC consumed data the on-chip data buffer does not hold
+    /// (indicates a missing `LOAD_D`/`VIR_LOAD_D` — i.e. a compiler or IAU
+    /// bug).
+    MissingData {
+        /// Layer id.
+        layer: u16,
+        /// (Buffer-virtual) channel index.
+        channel: u32,
+        /// Input row index.
+        row: u32,
+    },
+    /// A CALC consumed weights the weight buffer does not hold.
+    MissingWeights {
+        /// Layer id.
+        layer: u16,
+        /// Output channel.
+        oc: u32,
+        /// Input channel.
+        ic: u32,
+    },
+    /// A SAVE read an output blob that is absent or not finalised.
+    MissingOutput {
+        /// Layer id.
+        layer: u16,
+        /// Output channel.
+        channel: u32,
+        /// Output row.
+        row: u32,
+    },
+    /// A DDR access fell outside the task's image.
+    AddressOutOfRange {
+        /// Slot.
+        slot: TaskSlot,
+        /// Task-relative address.
+        addr: u64,
+        /// Access length.
+        len: u64,
+        /// Image capacity.
+        capacity: u64,
+    },
+    /// No DDR image installed for a functional slot.
+    NoImage(TaskSlot),
+    /// CPU-like restore without a prior snapshot.
+    NoSnapshot(TaskSlot),
+    /// Engine misuse (message explains).
+    Engine(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EmptySlot(s) => write!(f, "no program loaded in {s}"),
+            SimError::MissingData { layer, channel, row } => {
+                write!(f, "data buffer miss: layer {layer}, channel {channel}, row {row}")
+            }
+            SimError::MissingWeights { layer, oc, ic } => {
+                write!(f, "weight buffer miss: layer {layer}, oc {oc}, ic {ic}")
+            }
+            SimError::MissingOutput { layer, channel, row } => {
+                write!(f, "output buffer miss: layer {layer}, channel {channel}, row {row}")
+            }
+            SimError::AddressOutOfRange { slot, addr, len, capacity } => write!(
+                f,
+                "{slot}: DDR access {addr:#x}+{len} outside image of {capacity} bytes"
+            ),
+            SimError::NoImage(s) => write!(f, "no DDR image installed for {s}"),
+            SimError::NoSnapshot(s) => write!(f, "no snapshot to restore for {s}"),
+            SimError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Gives semantics to instructions executed by the [`crate::Engine`].
+///
+/// The engine guarantees:
+/// * `execute` is only called for the slot that currently owns the
+///   datapath (after `on_switch`);
+/// * `SAVE` instructions arrive already *patched* (channels flushed by an
+///   earlier `VIR_SAVE` removed);
+/// * virtual instructions arrive only when materialised by an interrupt
+///   (`VIR_SAVE` during backup, `VIR_LOAD_*` during resume).
+pub trait Backend {
+    /// Executes one instruction for `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`SimError`] when the instruction's
+    /// preconditions do not hold (buffer misses, bad addresses).
+    fn execute(&mut self, slot: TaskSlot, program: &Program, instr: &Instr)
+        -> Result<(), SimError>;
+
+    /// The datapath is handed to `slot`; volatile on-chip state of any
+    /// previous owner is lost.
+    fn on_switch(&mut self, slot: TaskSlot);
+
+    /// CPU-like interrupt: capture the whole on-chip state for `slot`.
+    fn snapshot(&mut self, slot: TaskSlot);
+
+    /// CPU-like resume: restore the snapshot taken for `slot`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSnapshot`] when no snapshot exists.
+    fn restore(&mut self, slot: TaskSlot) -> Result<(), SimError>;
+}
+
+/// The timing-only backend: instructions have cost but no data semantics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingBackend {
+    _private: (),
+}
+
+impl TimingBackend {
+    /// Creates a timing backend.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for TimingBackend {
+    fn execute(
+        &mut self,
+        _slot: TaskSlot,
+        _program: &Program,
+        _instr: &Instr,
+    ) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    fn on_switch(&mut self, _slot: TaskSlot) {}
+
+    fn snapshot(&mut self, _slot: TaskSlot) {}
+
+    fn restore(&mut self, _slot: TaskSlot) -> Result<(), SimError> {
+        Ok(())
+    }
+}

@@ -1,0 +1,1187 @@
+//! The execution engine: four priority task slots in front of one
+//! accelerator datapath, with the IAU's interrupt machinery.
+//!
+//! The engine advances a virtual cycle clock instruction by instruction.
+//! When a request for a higher-priority slot is observed while a
+//! lower-priority task runs, the configured [`InterruptStrategy`] decides
+//! how the datapath is handed over:
+//!
+//! * [`InterruptStrategy::CpuLike`] — finish the in-flight instruction,
+//!   then move the *entire* on-chip cache set to DDR (and back on resume);
+//! * [`InterruptStrategy::LayerByLayer`] — run to the end of the current
+//!   layer; nothing to back up or restore;
+//! * [`InterruptStrategy::VirtualInstruction`] — run to the next interrupt
+//!   point, materialise its `VIR_SAVE`s (patching the later real `SAVE`s so
+//!   no output byte is written twice), and materialise the point's
+//!   `VIR_LOAD`s on resume.
+//!
+//! Every interrupt is probed with the paper's four phases: `t1` (finish
+//! current operation), `t2` (backup), `t3` (the high-priority task itself)
+//! and `t4` (restore); response latency is `t1 + t2`, extra cost is
+//! `t2 + t4` (§IV-B).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use inca_isa::{Instr, Opcode, Program, TaskSlot, TASK_SLOTS};
+
+use crate::{instr_cycles, AccelConfig, Backend, SimError};
+
+/// How the accelerator hands the datapath to a higher-priority task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum InterruptStrategy {
+    /// The native, non-interruptible accelerator (the paper's baseline
+    /// motivation): a higher-priority request waits until the running
+    /// task finishes its whole network.
+    NonPreemptive,
+    /// Dump/restore all on-chip caches, like a CPU spilling registers.
+    CpuLike,
+    /// Switch only at layer boundaries.
+    LayerByLayer,
+    /// The paper's virtual-instruction method: switch at interrupt points
+    /// inside layers.
+    VirtualInstruction,
+}
+
+impl std::fmt::Display for InterruptStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InterruptStrategy::NonPreemptive => "non-preemptive",
+            InterruptStrategy::CpuLike => "cpu-like",
+            InterruptStrategy::LayerByLayer => "layer-by-layer",
+            InterruptStrategy::VirtualInstruction => "virtual-instruction",
+        })
+    }
+}
+
+/// Lifecycle of a slot's current job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// No job in flight.
+    Idle,
+    /// Released, waiting for the datapath.
+    Ready,
+    /// Executing.
+    Running,
+    /// Preempted, awaiting resume.
+    Preempted,
+}
+
+/// Scheduler/lifecycle events, in cycle order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Event {
+    /// A job was released into a slot.
+    Submitted {
+        /// Cycle.
+        cycle: u64,
+        /// Slot.
+        slot: TaskSlot,
+    },
+    /// A job started for the first time.
+    Started {
+        /// Cycle.
+        cycle: u64,
+        /// Slot.
+        slot: TaskSlot,
+    },
+    /// A job was preempted.
+    Preempted {
+        /// Cycle (end of backup).
+        cycle: u64,
+        /// The victim.
+        slot: TaskSlot,
+        /// The winner that requested the datapath.
+        by: TaskSlot,
+    },
+    /// A preempted job resumed.
+    Resumed {
+        /// Cycle (end of restore).
+        cycle: u64,
+        /// Slot.
+        slot: TaskSlot,
+    },
+    /// A job finished.
+    Completed {
+        /// Cycle.
+        cycle: u64,
+        /// Slot.
+        slot: TaskSlot,
+    },
+}
+
+/// One preemption, probed with the paper's four phases (cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InterruptEvent {
+    /// Cycle the high-priority request was released.
+    pub request_cycle: u64,
+    /// The preempted (victim) slot.
+    pub victim: TaskSlot,
+    /// The requesting (winner) slot.
+    pub winner: TaskSlot,
+    /// Layer of the victim at the moment of the request.
+    pub layer: u16,
+    /// Victim pc at the moment of the request.
+    pub request_pc: u32,
+    /// `t1`: cycles to finish the current operation (up to the switch
+    /// point the strategy allows).
+    pub t1: u64,
+    /// `t2`: backup cycles.
+    pub t2: u64,
+    /// `t4`: restore cycles (0 until the victim resumes).
+    pub t4: u64,
+    /// Cycle the victim resumed, if it has.
+    pub resumed_at: Option<u64>,
+}
+
+impl InterruptEvent {
+    /// Interrupt response latency `t1 + t2` (paper §IV-B).
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.t1 + self.t2
+    }
+
+    /// Extra scheduling cost `t2 + t4` (paper §IV-B).
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        self.t2 + self.t4
+    }
+}
+
+/// A completed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JobRecord {
+    /// Slot.
+    pub slot: TaskSlot,
+    /// Release cycle.
+    pub release: u64,
+    /// First-execution cycle.
+    pub start: u64,
+    /// Completion cycle.
+    pub finish: u64,
+    /// Cycles spent executing this job's instructions.
+    pub busy_cycles: u64,
+    /// Extra cycles spent on interrupt backup/restore for this job.
+    pub extra_cost_cycles: u64,
+    /// Times this job was preempted.
+    pub preemptions: u32,
+}
+
+impl JobRecord {
+    /// Response time (release → finish) in cycles.
+    #[must_use]
+    pub fn response(&self) -> u64 {
+        self.finish - self.release
+    }
+}
+
+/// Cycle attribution collected when profiling is enabled
+/// ([`Engine::set_profiling`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Profile {
+    /// Cycles per `(slot index, layer id)`.
+    pub per_layer: HashMap<(u8, u16), u64>,
+    /// Cycles per opcode (indexed by the order of `Opcode::ALL`).
+    pub per_opcode: [u64; 8],
+    /// Cycles spent on interrupt backup (`t2`) and restore (`t4`).
+    pub interrupt_overhead: u64,
+}
+
+impl Profile {
+    fn charge(&mut self, slot: TaskSlot, instr: &Instr, cycles: u64) {
+        *self.per_layer.entry((slot.index() as u8, instr.layer)).or_insert(0) += cycles;
+        let idx = Opcode::ALL.iter().position(|o| *o == instr.op).expect("known opcode");
+        self.per_opcode[idx] += cycles;
+    }
+
+    /// Cycles attributed to a slot, summed over layers.
+    #[must_use]
+    pub fn slot_cycles(&self, slot: TaskSlot) -> u64 {
+        self.per_layer
+            .iter()
+            .filter(|((s, _), _)| usize::from(*s) == slot.index())
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Layers of a slot ranked by cycles, descending.
+    #[must_use]
+    pub fn hottest_layers(&self, slot: TaskSlot) -> Vec<(u16, u64)> {
+        let mut v: Vec<(u16, u64)> = self
+            .per_layer
+            .iter()
+            .filter(|((s, _), _)| usize::from(*s) == slot.index())
+            .map(|((_, l), c)| (*l, *c))
+            .collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Report {
+    /// Scheduler events in cycle order.
+    pub events: Vec<Event>,
+    /// All preemptions with their phase probes.
+    pub interrupts: Vec<InterruptEvent>,
+    /// Completed jobs in completion order.
+    pub completed_jobs: Vec<JobRecord>,
+    /// Cycle the simulation stopped at.
+    pub final_cycle: u64,
+    /// Cycle attribution, when profiling was enabled.
+    pub profile: Option<Profile>,
+}
+
+impl Report {
+    /// Completed jobs of one slot.
+    pub fn jobs_of(&self, slot: TaskSlot) -> impl Iterator<Item = &JobRecord> {
+        self.completed_jobs.iter().filter(move |j| j.slot == slot)
+    }
+
+    /// Per-slot occupancy intervals `(start, end)` derived from the event
+    /// log (running between Start/Resume and Preempt/Complete).
+    #[must_use]
+    pub fn occupancy(&self) -> [Vec<(u64, u64)>; TASK_SLOTS] {
+        let mut out: [Vec<(u64, u64)>; TASK_SLOTS] = Default::default();
+        let mut open: [Option<u64>; TASK_SLOTS] = [None; TASK_SLOTS];
+        for e in &self.events {
+            match *e {
+                Event::Started { cycle, slot } | Event::Resumed { cycle, slot } => {
+                    open[slot.index()] = Some(cycle);
+                }
+                Event::Preempted { cycle, slot, .. } | Event::Completed { cycle, slot } => {
+                    if let Some(s) = open[slot.index()].take() {
+                        out[slot.index()].push((s, cycle));
+                    }
+                }
+                Event::Submitted { .. } => {}
+            }
+        }
+        for (i, o) in open.into_iter().enumerate() {
+            if let Some(s) = o {
+                out[i].push((s, self.final_cycle));
+            }
+        }
+        out
+    }
+
+    /// An ASCII Gantt chart of slot occupancy, `width` characters wide.
+    /// Each row is one task slot; `#` marks cycles where the slot holds
+    /// the datapath.
+    #[must_use]
+    pub fn gantt(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let width = width.max(10);
+        let span = self.final_cycle.max(1);
+        let occupancy = self.occupancy();
+        let mut out = String::new();
+        for (i, intervals) in occupancy.iter().enumerate() {
+            let mut row = vec![b'.'; width];
+            for &(s, e) in intervals {
+                let a = (s as u128 * width as u128 / span as u128) as usize;
+                let b = (e as u128 * width as u128 / span as u128) as usize;
+                for c in row.iter_mut().take(b.max(a + 1).min(width)).skip(a.min(width - 1)) {
+                    *c = b'#';
+                }
+            }
+            let _ = writeln!(
+                out,
+                "slot{} |{}| {:>6} preemptions",
+                i,
+                String::from_utf8_lossy(&row),
+                self.interrupts.iter().filter(|ev| ev.victim.index() == i).count()
+            );
+        }
+        let _ = writeln!(out, "       0{:>w$}", format!("{} cycles", span), w = width);
+        out
+    }
+}
+
+#[derive(Debug)]
+struct ActiveJob {
+    release: u64,
+    start: Option<u64>,
+    pc: usize,
+    /// IAU `InputOffset` register: shifts loads from the network-input
+    /// region (lets software point the same program at another frame).
+    input_offset: u64,
+    /// IAU `OutputOffset` register: shifts saves to the designated-output
+    /// region.
+    output_offset: u64,
+    /// `save_id -> absolute end channel` already flushed by `VIR_SAVE`s.
+    flushed: HashMap<u32, u16>,
+    resume_loads: Vec<Instr>,
+    needs_cpu_restore: bool,
+    preempted: bool,
+    preemptions: u32,
+    busy_cycles: u64,
+    extra_cost_cycles: u64,
+    last_interrupt: Option<usize>,
+    /// Compute cycles accumulated since the last transfer, available to
+    /// hide DMA under when `AccelConfig::dma_overlap` is set.
+    dma_credit: u64,
+}
+
+impl ActiveJob {
+    fn with_offsets(release: u64, input_offset: u64, output_offset: u64) -> Self {
+        Self {
+            release,
+            start: None,
+            pc: 0,
+            input_offset,
+            output_offset,
+            flushed: HashMap::new(),
+            resume_loads: Vec::new(),
+            needs_cpu_restore: false,
+            preempted: false,
+            preemptions: 0,
+            busy_cycles: 0,
+            extra_cost_cycles: 0,
+            last_interrupt: None,
+            dma_credit: 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    program: Option<Arc<Program>>,
+    job: Option<ActiveJob>,
+    /// Queued jobs: (release, input offset, output offset).
+    backlog: VecDeque<(u64, u64, u64)>,
+    auto_resubmit: bool,
+}
+
+
+/// Applies the IAU's per-job `InputOffset`/`OutputOffset` registers to an
+/// instruction's DDR address: loads from the network-input region and
+/// saves to the designated-output region are shifted.
+fn apply_job_offsets(program: &Program, in_off: u64, out_off: u64, instr: &mut Instr) {
+    if in_off == 0 && out_off == 0 {
+        return;
+    }
+    let len = u64::from(instr.ddr.bytes);
+    match instr.op {
+        Opcode::LoadD | Opcode::VirLoadD
+            if program.memory.in_input_region(instr.ddr.addr, len) =>
+        {
+            instr.ddr.addr += in_off;
+        }
+        Opcode::Save | Opcode::VirSave
+            if program.memory.in_output_region(instr.ddr.addr, len) =>
+        {
+            instr.ddr.addr += out_off;
+        }
+        _ => {}
+    }
+}
+
+/// The accelerator engine: four priority task slots in front of one
+/// datapath (see the module-level documentation at the top of this file).
+#[derive(Debug)]
+pub struct Engine<B: Backend> {
+    cfg: AccelConfig,
+    strategy: InterruptStrategy,
+    backend: B,
+    slots: [Slot; TASK_SLOTS],
+    now: u64,
+    arrivals: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    arrival_offsets: HashMap<u64, (u64, u64)>,
+    seq: u64,
+    running: Option<TaskSlot>,
+    events: Vec<Event>,
+    interrupts: Vec<InterruptEvent>,
+    completed: Vec<JobRecord>,
+    profile: Option<Profile>,
+}
+
+impl<B: Backend> Engine<B> {
+    /// Creates an engine.
+    #[must_use]
+    pub fn new(cfg: AccelConfig, strategy: InterruptStrategy, backend: B) -> Self {
+        Self {
+            cfg,
+            strategy,
+            backend,
+            slots: Default::default(),
+            now: 0,
+            arrivals: BinaryHeap::new(),
+            arrival_offsets: HashMap::new(),
+            seq: 0,
+            running: None,
+            events: Vec::new(),
+            interrupts: Vec::new(),
+            completed: Vec::new(),
+            profile: None,
+        }
+    }
+
+    /// Enables or disables per-layer/per-opcode cycle attribution (small
+    /// per-instruction overhead; off by default).
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profile = if enabled { Some(Profile::default()) } else { None };
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &AccelConfig {
+        &self.cfg
+    }
+
+    /// The strategy in use.
+    #[must_use]
+    pub fn strategy(&self) -> InterruptStrategy {
+        self.strategy
+    }
+
+    /// Current virtual cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Access to the backend (e.g. to install or inspect DDR images).
+    #[must_use]
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Backend accessor.
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Installs `program` in `slot` (replacing any previous program; the
+    /// slot must be idle). Accepts `Program` or a shared `Arc<Program>` —
+    /// share the `Arc` when loading one large program into many engines.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Engine`] when the slot has a job in flight.
+    pub fn load(
+        &mut self,
+        slot: TaskSlot,
+        program: impl Into<Arc<Program>>,
+    ) -> Result<(), SimError> {
+        let s = &mut self.slots[slot.index()];
+        if s.job.is_some() {
+            return Err(SimError::Engine(format!("{slot} has a job in flight")));
+        }
+        s.program = Some(program.into());
+        Ok(())
+    }
+
+    /// State of a slot.
+    #[must_use]
+    pub fn task_state(&self, slot: TaskSlot) -> TaskState {
+        let s = &self.slots[slot.index()];
+        match &s.job {
+            None => TaskState::Idle,
+            Some(j) if self.running == Some(slot) => {
+                debug_assert!(!j.preempted);
+                TaskState::Running
+            }
+            Some(j) if j.preempted => TaskState::Preempted,
+            Some(_) => TaskState::Ready,
+        }
+    }
+
+    /// When a job of `slot` completes, immediately release the next one.
+    pub fn set_auto_resubmit(&mut self, slot: TaskSlot, enabled: bool) {
+        self.slots[slot.index()].auto_resubmit = enabled;
+    }
+
+    /// Schedules an execution request for `slot` at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptySlot`] when no program is loaded.
+    pub fn request_at(&mut self, cycle: u64, slot: TaskSlot) -> Result<(), SimError> {
+        self.request_job(cycle, slot, 0, 0)
+    }
+
+    /// Like [`Engine::request_at`], additionally programming the IAU's
+    /// per-job `InputOffset`/`OutputOffset` registers: loads from the
+    /// program's network-input region and saves to its designated-output
+    /// region are shifted by the given byte offsets, so software can run
+    /// the same program against different frame buffers.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptySlot`] when no program is loaded.
+    pub fn request_job(
+        &mut self,
+        cycle: u64,
+        slot: TaskSlot,
+        input_offset: u64,
+        output_offset: u64,
+    ) -> Result<(), SimError> {
+        if self.slots[slot.index()].program.is_none() {
+            return Err(SimError::EmptySlot(slot));
+        }
+        self.arrivals.push(Reverse((cycle, self.seq, slot.index() as u8)));
+        self.arrival_offsets.insert(self.seq, (input_offset, output_offset));
+        self.seq += 1;
+        Ok(())
+    }
+
+    fn release_due(&mut self) {
+        while let Some(&Reverse((t, seq, s))) = self.arrivals.peek() {
+            if t > self.now {
+                break;
+            }
+            self.arrivals.pop();
+            let (in_off, out_off) = self.arrival_offsets.remove(&seq).unwrap_or((0, 0));
+            let slot = TaskSlot::new(s).expect("slot validated at request");
+            let st = &mut self.slots[usize::from(s)];
+            if st.job.is_none() {
+                st.job = Some(ActiveJob::with_offsets(t, in_off, out_off));
+            } else {
+                st.backlog.push_back((t, in_off, out_off));
+            }
+            self.events.push(Event::Submitted { cycle: t, slot });
+        }
+    }
+
+    fn best_ready(&self) -> Option<TaskSlot> {
+        TaskSlot::all().find(|s| self.slots[s.index()].job.is_some())
+    }
+
+    /// Executes one *original* instruction at the victim's pc (virtual
+    /// instructions are skipped for free, SAVE patches applied), advancing
+    /// the clock. Returns `true` when the job's stream is exhausted.
+    fn exec_step(&mut self, slot: TaskSlot) -> Result<bool, SimError> {
+        let program = Arc::clone(
+            self.slots[slot.index()].program.as_ref().expect("running slot has program"),
+        );
+        // Skip virtual groups (the IAU discards them in normal flow).
+        {
+            let job = self.slots[slot.index()].job.as_mut().expect("running slot has job");
+            while job.pc < program.instrs.len() && program.instrs[job.pc].op.is_virtual() {
+                job.pc += 1;
+            }
+            if job.pc >= program.instrs.len() {
+                return Ok(true);
+            }
+        }
+        let pc = self.slots[slot.index()].job.as_ref().expect("job").pc;
+        let mut instr = program.instrs[pc];
+        let mut skip = false;
+        if instr.op == Opcode::Save {
+            let job = self.slots[slot.index()].job.as_mut().expect("job");
+            if let Some(&flushed_end) = job.flushed.get(&instr.save_id) {
+                let meta = program.layer_of(&instr);
+                let plane = u64::from(meta.out_shape.h) * u64::from(meta.out_shape.w);
+                let c0 = instr.tile.c0;
+                let end = c0 + instr.tile.chans;
+                let new_c0 = flushed_end.max(c0).min(end);
+                let cut = u32::from(new_c0 - c0);
+                if new_c0 >= end {
+                    skip = true;
+                } else {
+                    instr.tile.c0 = new_c0;
+                    instr.tile.chans = end - new_c0;
+                    instr.ddr.addr += u64::from(cut) * plane;
+                    instr.ddr.bytes -= cut * u32::from(instr.tile.rows) * meta.out_shape.w;
+                }
+                job.flushed.remove(&instr.save_id);
+            }
+        }
+        {
+            let job = self.slots[slot.index()].job.as_ref().expect("job");
+            apply_job_offsets(&program, job.input_offset, job.output_offset, &mut instr);
+        }
+        let mut cycles = if skip {
+            0
+        } else {
+            self.backend.execute(slot, &program, &instr)?;
+            instr_cycles(&self.cfg, program.layer_of(&instr), &instr)
+        };
+        if self.cfg.dma_overlap {
+            let job = self.slots[slot.index()].job.as_mut().expect("job");
+            if instr.op.is_calc() {
+                job.dma_credit = job.dma_credit.saturating_add(cycles);
+            } else {
+                let hidden = cycles.min(job.dma_credit);
+                job.dma_credit -= hidden;
+                cycles -= hidden;
+            }
+        }
+        self.now += cycles;
+        if let Some(p) = self.profile.as_mut() {
+            p.charge(slot, &instr, cycles);
+        }
+        let job = self.slots[slot.index()].job.as_mut().expect("job");
+        job.busy_cycles += cycles;
+        job.pc += 1;
+        Ok(job.pc >= program.instrs.len())
+    }
+
+    fn complete_job(&mut self, slot: TaskSlot) {
+        let s = &mut self.slots[slot.index()];
+        let job = s.job.take().expect("completing job exists");
+        self.completed.push(JobRecord {
+            slot,
+            release: job.release,
+            start: job.start.unwrap_or(job.release),
+            finish: self.now,
+            busy_cycles: job.busy_cycles,
+            extra_cost_cycles: job.extra_cost_cycles,
+            preemptions: job.preemptions,
+        });
+        self.events.push(Event::Completed { cycle: self.now, slot });
+        if let Some((next, in_off, out_off)) = s.backlog.pop_front() {
+            s.job = Some(ActiveJob::with_offsets(next, in_off, out_off));
+        } else if s.auto_resubmit {
+            // Auto-resubmission reuses the completed job's offsets.
+            s.job = Some(ActiveJob::with_offsets(self.now, job.input_offset, job.output_offset));
+            self.events.push(Event::Submitted { cycle: self.now, slot });
+        }
+        if self.running == Some(slot) {
+            self.running = None;
+        }
+    }
+
+    /// Starts or resumes `slot` on the datapath.
+    fn dispatch(&mut self, slot: TaskSlot) -> Result<(), SimError> {
+        self.backend.on_switch(slot);
+        let program = Arc::clone(self.slots[slot.index()].program.as_ref().expect("program"));
+        let job = self.slots[slot.index()].job.as_mut().expect("dispatching job exists");
+        if job.start.is_none() {
+            job.start = Some(self.now);
+            self.events.push(Event::Started { cycle: self.now, slot });
+        }
+        if job.preempted {
+            let mut t4 = 0u64;
+            if job.needs_cpu_restore {
+                job.needs_cpu_restore = false;
+                t4 = self.cfg.dma_cycles(u64::from(self.cfg.arch.onchip_bytes()));
+                self.backend.restore(slot)?;
+            }
+            let mut loads = std::mem::take(&mut job.resume_loads);
+            let (in_off, out_off) = (job.input_offset, job.output_offset);
+            let last_interrupt = job.last_interrupt.take();
+            job.preempted = false;
+            job.dma_credit = 0; // the double-buffer pipeline restarts cold
+            for l in &mut loads {
+                apply_job_offsets(&program, in_off, out_off, l);
+            }
+            for l in &loads {
+                self.backend.execute(slot, &program, l)?;
+                let c = instr_cycles(&self.cfg, program.layer_of(l), l);
+                t4 += c;
+                if let Some(p) = self.profile.as_mut() {
+                    p.charge(slot, l, c);
+                }
+            }
+            self.now += t4;
+            if let Some(p) = self.profile.as_mut() {
+                p.interrupt_overhead += t4;
+            }
+            let job = self.slots[slot.index()].job.as_mut().expect("job");
+            job.extra_cost_cycles += t4;
+            if let Some(idx) = last_interrupt {
+                self.interrupts[idx].t4 = t4;
+                self.interrupts[idx].resumed_at = Some(self.now);
+            }
+            self.events.push(Event::Resumed { cycle: self.now, slot });
+        }
+        self.running = Some(slot);
+        Ok(())
+    }
+
+    /// Preempts `victim` in favour of `winner` per the strategy.
+    fn preempt(&mut self, victim: TaskSlot, winner: TaskSlot) -> Result<(), SimError> {
+        let program =
+            Arc::clone(self.slots[victim.index()].program.as_ref().expect("victim has program"));
+        let request_cycle =
+            self.slots[winner.index()].job.as_ref().expect("winner has job").release;
+        let request_pc = self.slots[victim.index()].job.as_ref().expect("victim job").pc as u32;
+        let request_layer = program
+            .instrs
+            .get(request_pc as usize)
+            .map_or(0, |i| i.layer);
+
+        let mut t2 = 0u64;
+        let finished = match self.strategy {
+            InterruptStrategy::NonPreemptive => {
+                // Run the victim's whole remaining program.
+                loop {
+                    if self.exec_step(victim)? {
+                        break true;
+                    }
+                }
+            }
+            InterruptStrategy::CpuLike => {
+                // The in-flight instruction already completed (the engine
+                // only observes requests at instruction boundaries).
+                t2 = self.cfg.dma_cycles(u64::from(self.cfg.arch.onchip_bytes()));
+                self.now += t2;
+                self.backend.snapshot(victim);
+                let job = self.slots[victim.index()].job.as_mut().expect("job");
+                job.needs_cpu_restore = true;
+                false
+            }
+            InterruptStrategy::LayerByLayer => {
+                let layer = request_layer;
+                loop {
+                    // Next original pc (virtual instructions are free).
+                    let next = {
+                        let job = self.slots[victim.index()].job.as_ref().expect("job");
+                        let mut pc = job.pc;
+                        while pc < program.instrs.len() && program.instrs[pc].op.is_virtual() {
+                            pc += 1;
+                        }
+                        pc
+                    };
+                    if next >= program.instrs.len() {
+                        break true; // finished the whole program while draining
+                    }
+                    if program.instrs[next].layer != layer {
+                        break false; // reached the layer boundary
+                    }
+                    if self.exec_step(victim)? {
+                        break true;
+                    }
+                }
+            }
+            InterruptStrategy::VirtualInstruction => {
+                let point = {
+                    let job = self.slots[victim.index()].job.as_ref().expect("job");
+                    program.next_interrupt_point(job.pc).copied()
+                };
+                match point {
+                    None => {
+                        // No point ahead: run to completion.
+                        loop {
+                            if self.exec_step(victim)? {
+                                break true;
+                            }
+                        }
+                    }
+                    Some(p) => {
+                        // t1: finish up to the point.
+                        loop {
+                            let at_point = {
+                                let job =
+                                    self.slots[victim.index()].job.as_ref().expect("job");
+                                job.pc >= p.vir_start as usize
+                            };
+                            if at_point {
+                                break;
+                            }
+                            if self.exec_step(victim)? {
+                                break;
+                            }
+                        }
+                        {
+                            // t2: materialise the point's VIR_SAVEs.
+                            let mut resume_loads = Vec::new();
+                            for idx in p.vir_range() {
+                                let mut vi = program.instrs[idx];
+                                {
+                                    let job =
+                                        self.slots[victim.index()].job.as_ref().expect("job");
+                                    apply_job_offsets(
+                                        &program,
+                                        job.input_offset,
+                                        job.output_offset,
+                                        &mut vi,
+                                    );
+                                }
+                                match vi.op {
+                                    Opcode::VirSave => {
+                                        let already = self.slots[victim.index()]
+                                            .job
+                                            .as_ref()
+                                            .expect("job")
+                                            .flushed
+                                            .get(&vi.save_id)
+                                            .copied()
+                                            .unwrap_or(0);
+                                        let end = vi.tile.c0 + vi.tile.chans;
+                                        if end <= already {
+                                            continue;
+                                        }
+                                        self.backend.execute(victim, &program, &vi)?;
+                                        let c = instr_cycles(&self.cfg, program.layer_of(&vi), &vi);
+                                        t2 += c;
+                                        if let Some(p) = self.profile.as_mut() {
+                                            p.charge(victim, &vi, c);
+                                        }
+                                        self.slots[victim.index()]
+                                            .job
+                                            .as_mut()
+                                            .expect("job")
+                                            .flushed
+                                            .insert(vi.save_id, end);
+                                    }
+                                    Opcode::VirLoadD | Opcode::VirLoadW => {
+                                        resume_loads.push(vi);
+                                    }
+                                    other => {
+                                        return Err(SimError::Engine(format!(
+                                            "non-virtual {other} inside interrupt point"
+                                        )))
+                                    }
+                                }
+                            }
+                            self.now += t2;
+                            let job = self.slots[victim.index()].job.as_mut().expect("job");
+                            job.pc = p.resume_pc() as usize;
+                            if job.pc >= program.instrs.len() {
+                                // The point closed the program: complete.
+                                true
+                            } else {
+                                job.resume_loads = resume_loads;
+                                false
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        let t1 = self.now.saturating_sub(request_cycle).saturating_sub(t2);
+        if finished {
+            self.complete_job(victim);
+            // Completion, not preemption: still record the latency the
+            // winner observed, with no restore to come.
+            self.interrupts.push(InterruptEvent {
+                request_cycle,
+                victim,
+                winner,
+                layer: request_layer,
+                request_pc,
+                t1,
+                t2,
+                t4: 0,
+                resumed_at: None,
+            });
+            return Ok(());
+        }
+
+        if let Some(p) = self.profile.as_mut() {
+            p.interrupt_overhead += t2;
+        }
+        let job = self.slots[victim.index()].job.as_mut().expect("job");
+        job.preempted = true;
+        job.preemptions += 1;
+        job.extra_cost_cycles += t2;
+        job.last_interrupt = Some(self.interrupts.len());
+        self.interrupts.push(InterruptEvent {
+            request_cycle,
+            victim,
+            winner,
+            layer: request_layer,
+            request_pc,
+            t1,
+            t2,
+            t4: 0,
+            resumed_at: None,
+        });
+        self.events.push(Event::Preempted { cycle: self.now, slot: victim, by: winner });
+        self.running = None;
+        Ok(())
+    }
+
+    /// Runs until `deadline` cycles or until all work is done, whichever
+    /// comes first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn run_until(&mut self, deadline: u64) -> Result<(), SimError> {
+        loop {
+            if self.now >= deadline {
+                return Ok(());
+            }
+            self.release_due();
+            let best = self.best_ready();
+            match (self.running, best) {
+                (None, None) => {
+                    // Idle: jump to the next arrival, or stop.
+                    match self.arrivals.peek() {
+                        Some(&Reverse((t, _, _))) => self.now = t.min(deadline),
+                        None => return Ok(()),
+                    }
+                }
+                (None, Some(s)) => self.dispatch(s)?,
+                (Some(r), Some(s)) if s.preempts(r) => {
+                    // Note: slot 0 can never be a victim — nothing preempts it.
+                    self.preempt(r, s)?;
+                }
+                (Some(r), _) => {
+                    if self.exec_step(r)? {
+                        self.complete_job(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until all submitted work completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn run(&mut self) -> Result<Report, SimError> {
+        self.run_until(u64::MAX)?;
+        Ok(self.report())
+    }
+
+    /// Snapshot of the current report.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        Report {
+            events: self.events.clone(),
+            interrupts: self.interrupts.clone(),
+            completed_jobs: self.completed.clone(),
+            final_cycle: self.now,
+            profile: self.profile.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimingBackend;
+    use inca_compiler::Compiler;
+    use inca_model::{zoo, Shape3};
+
+    fn engine(strategy: InterruptStrategy) -> Engine<TimingBackend> {
+        Engine::new(AccelConfig::paper_big(), strategy, TimingBackend::new())
+    }
+
+    fn tiny_vi() -> inca_isa::Program {
+        let c = Compiler::new(AccelConfig::paper_big().arch);
+        c.compile_vi(&zoo::tiny(Shape3::new(3, 32, 32)).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_task_runs_to_completion() {
+        let mut e = engine(InterruptStrategy::VirtualInstruction);
+        let slot = TaskSlot::new(2).unwrap();
+        e.load(slot, tiny_vi()).unwrap();
+        e.request_at(100, slot).unwrap();
+        let r = e.run().unwrap();
+        assert_eq!(r.completed_jobs.len(), 1);
+        assert!(r.interrupts.is_empty());
+        let j = &r.completed_jobs[0];
+        assert_eq!(j.release, 100);
+        assert_eq!(j.start, 100);
+        assert!(j.finish > 100);
+        assert_eq!(j.preemptions, 0);
+        assert_eq!(j.extra_cost_cycles, 0);
+    }
+
+    #[test]
+    fn request_before_load_is_rejected() {
+        let mut e = engine(InterruptStrategy::CpuLike);
+        assert!(matches!(
+            e.request_at(0, TaskSlot::new(1).unwrap()),
+            Err(SimError::EmptySlot(_))
+        ));
+    }
+
+    #[test]
+    fn high_priority_preempts_low() {
+        for strategy in [
+            InterruptStrategy::CpuLike,
+            InterruptStrategy::LayerByLayer,
+            InterruptStrategy::VirtualInstruction,
+        ] {
+            let mut e = engine(strategy);
+            let hi = TaskSlot::new(1).unwrap();
+            let lo = TaskSlot::new(3).unwrap();
+            e.load(hi, tiny_vi()).unwrap();
+            e.load(lo, tiny_vi()).unwrap();
+            e.request_at(0, lo).unwrap();
+            e.request_at(2_000, hi).unwrap();
+            let r = e.run().unwrap();
+            assert_eq!(r.completed_jobs.len(), 2, "{strategy}");
+            assert_eq!(r.interrupts.len(), 1, "{strategy}");
+            let ev = &r.interrupts[0];
+            assert_eq!(ev.victim, lo);
+            assert_eq!(ev.winner, hi);
+            // The high-priority job starts right after latency elapses.
+            let hi_job = r.jobs_of(hi).next().unwrap();
+            assert_eq!(hi_job.start, ev.request_cycle + ev.latency(), "{strategy}");
+            // The low job finishes after the high one.
+            let lo_job = r.jobs_of(lo).next().unwrap();
+            assert!(lo_job.finish > hi_job.finish, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn strategies_order_latency_and_cost_as_the_paper() {
+        let mut results = Vec::new();
+        for strategy in [
+            InterruptStrategy::CpuLike,
+            InterruptStrategy::LayerByLayer,
+            InterruptStrategy::VirtualInstruction,
+        ] {
+            let mut e = engine(strategy);
+            let hi = TaskSlot::new(1).unwrap();
+            let lo = TaskSlot::new(3).unwrap();
+            e.load(hi, tiny_vi()).unwrap();
+            e.load(lo, tiny_vi()).unwrap();
+            e.request_at(0, lo).unwrap();
+            e.request_at(2_000, hi).unwrap();
+            let r = e.run().unwrap();
+            let ev = r.interrupts[0];
+            results.push((strategy, ev.latency(), ev.cost()));
+        }
+        let (_, lat_cpu, cost_cpu) = results[0];
+        let (_, lat_lbl, cost_lbl) = results[1];
+        let (_, lat_vi, cost_vi) = results[2];
+        assert_eq!(cost_lbl, 0, "layer-by-layer has no extra cost");
+        assert!(cost_vi < cost_cpu, "VI cost below CPU-like");
+        assert!(lat_vi < lat_lbl, "VI latency below layer-by-layer");
+        assert!(lat_cpu > 0 && lat_vi > 0);
+    }
+
+    #[test]
+    fn slot0_is_never_preempted() {
+        let mut e = engine(InterruptStrategy::VirtualInstruction);
+        let top = TaskSlot::HIGHEST;
+        let lo = TaskSlot::new(1).unwrap();
+        e.load(top, tiny_vi()).unwrap();
+        e.load(lo, tiny_vi()).unwrap();
+        e.request_at(0, top).unwrap();
+        // Another request for slot 0 while slot 0 runs cannot preempt it,
+        // and nothing can preempt slot 0 anyway.
+        e.request_at(10, lo).unwrap();
+        let r = e.run().unwrap();
+        assert!(r.interrupts.is_empty());
+        let first = r.completed_jobs[0];
+        assert_eq!(first.slot, top);
+    }
+
+    #[test]
+    fn backlog_queues_jobs_fifo() {
+        let mut e = engine(InterruptStrategy::LayerByLayer);
+        let slot = TaskSlot::new(2).unwrap();
+        e.load(slot, tiny_vi()).unwrap();
+        e.request_at(0, slot).unwrap();
+        e.request_at(1, slot).unwrap();
+        e.request_at(2, slot).unwrap();
+        let r = e.run().unwrap();
+        assert_eq!(r.completed_jobs.len(), 3);
+        let finishes: Vec<u64> = r.completed_jobs.iter().map(|j| j.finish).collect();
+        assert!(finishes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn auto_resubmit_fills_run_until_window() {
+        let mut e = engine(InterruptStrategy::VirtualInstruction);
+        let slot = TaskSlot::new(3).unwrap();
+        e.load(slot, tiny_vi()).unwrap();
+        e.set_auto_resubmit(slot, true);
+        e.request_at(0, slot).unwrap();
+        e.run_until(3_000_000).unwrap();
+        let r = e.report();
+        assert!(r.completed_jobs.len() > 2, "got {}", r.completed_jobs.len());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = engine(InterruptStrategy::VirtualInstruction);
+        let slot = TaskSlot::new(3).unwrap();
+        e.load(slot, tiny_vi()).unwrap();
+        e.request_at(0, slot).unwrap();
+        e.run_until(10).unwrap();
+        assert!(e.now() >= 10);
+        // A single instruction may overshoot, but not by more than one
+        // instruction's cost.
+        assert!(e.now() < 10 + 100_000);
+    }
+
+    #[test]
+    fn profiling_accounts_for_all_cycles() {
+        let mut e = engine(InterruptStrategy::VirtualInstruction);
+        e.set_profiling(true);
+        let hi = TaskSlot::new(1).unwrap();
+        let lo = TaskSlot::new(3).unwrap();
+        e.load(hi, tiny_vi()).unwrap();
+        e.load(lo, tiny_vi()).unwrap();
+        e.request_at(0, lo).unwrap();
+        e.request_at(2_000, hi).unwrap();
+        let r = e.run().unwrap();
+        let p = r.profile.clone().expect("profiling enabled");
+        // Per-slot totals equal busy + extra cycles of the jobs.
+        for slot in [hi, lo] {
+            let job = r.jobs_of(slot).next().unwrap();
+            assert_eq!(
+                p.slot_cycles(slot),
+                job.busy_cycles + job.extra_cost_cycles,
+                "{slot}"
+            );
+        }
+        // Opcode breakdown sums to the same grand total.
+        let grand: u64 = p.per_opcode.iter().sum();
+        let jobs: u64 = r
+            .completed_jobs
+            .iter()
+            .map(|j| j.busy_cycles + j.extra_cost_cycles)
+            .sum();
+        assert_eq!(grand, jobs);
+        // The overhead counter equals the probes' t2+t4 sum (possibly 0
+        // when the interrupt lands on an empty point).
+        let probed: u64 = r.interrupts.iter().map(InterruptEvent::cost).sum();
+        assert_eq!(p.interrupt_overhead, probed);
+        assert!(!p.hottest_layers(lo).is_empty());
+    }
+
+    #[test]
+    fn dma_overlap_shortens_but_preserves_work() {
+        let run = |overlap: bool| {
+            let mut cfg = AccelConfig::paper_big();
+            cfg.dma_overlap = overlap;
+            let mut e = Engine::new(cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
+            let slot = TaskSlot::new(2).unwrap();
+            e.load(slot, tiny_vi()).unwrap();
+            e.request_at(0, slot).unwrap();
+            let r = e.run().unwrap();
+            r.completed_jobs[0].finish
+        };
+        let sequential = run(false);
+        let overlapped = run(true);
+        assert!(overlapped < sequential, "{overlapped} !< {sequential}");
+        // Overlap can at best hide all transfers, not compute.
+        assert!(overlapped * 3 > sequential, "implausible speedup");
+    }
+
+    #[test]
+    fn gantt_renders_all_slots() {
+        let mut e = engine(InterruptStrategy::VirtualInstruction);
+        let hi = TaskSlot::new(1).unwrap();
+        let lo = TaskSlot::new(3).unwrap();
+        e.load(hi, tiny_vi()).unwrap();
+        e.load(lo, tiny_vi()).unwrap();
+        e.request_at(0, lo).unwrap();
+        e.request_at(2_000, hi).unwrap();
+        let r = e.run().unwrap();
+        let g = r.gantt(60);
+        assert_eq!(g.lines().count(), TASK_SLOTS + 1);
+        assert!(g.contains('#'));
+        // The preempted slot shows at least two occupancy intervals.
+        let occ = r.occupancy();
+        assert!(occ[lo.index()].len() >= 2);
+        assert_eq!(occ[hi.index()].len(), 1);
+        assert!(occ[0].is_empty() && occ[2].is_empty());
+    }
+
+    #[test]
+    fn load_busy_slot_is_rejected() {
+        let mut e = engine(InterruptStrategy::VirtualInstruction);
+        let slot = TaskSlot::new(3).unwrap();
+        e.load(slot, tiny_vi()).unwrap();
+        e.request_at(0, slot).unwrap();
+        e.run_until(10).unwrap();
+        assert!(matches!(e.load(slot, tiny_vi()), Err(SimError::Engine(_))));
+    }
+}

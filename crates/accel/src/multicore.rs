@@ -1,0 +1,205 @@
+//! Partitioned multi-core scheduling — the paper's future-work direction
+//! ("INCA currently focuses on interrupt support for single-core
+//! multi-tasking. We plan to investigate the multi-core multi-tasking...",
+//! §VI).
+//!
+//! A [`CorePool`] is N independent accelerator cores, each with its own
+//! engine, datapath and task slots, advancing the same virtual clock.
+//! Tasks are *partitioned*: each job is routed to a fixed core, which is
+//! how a deployment without INCA would buy deadline isolation — at N× the
+//! silicon. The `abl_multicore` bench compares one INCA core against a
+//! partitioned non-preemptive pool on deadline misses, throughput and
+//! resource cost.
+
+use inca_isa::{Program, TaskSlot};
+use std::sync::Arc;
+
+use crate::resources::{cnn_accelerator, iau, ResourceEstimate};
+use crate::{AccelConfig, Backend, Engine, InterruptStrategy, Report, SimError};
+
+/// Identifies a core within a [`CorePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub usize);
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A pool of identical accelerator cores with partitioned task placement.
+#[derive(Debug)]
+pub struct CorePool<B: Backend> {
+    cfg: AccelConfig,
+    cores: Vec<Engine<B>>,
+}
+
+impl<B: Backend> CorePool<B> {
+    /// Creates a pool of `n` cores, each built with `make_backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn new(
+        n: usize,
+        cfg: AccelConfig,
+        strategy: InterruptStrategy,
+        mut make_backend: impl FnMut() -> B,
+    ) -> Self {
+        assert!(n > 0, "a pool needs at least one core");
+        let cores = (0..n).map(|_| Engine::new(cfg, strategy, make_backend())).collect();
+        Self { cfg, cores }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The engine of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range core id.
+    #[must_use]
+    pub fn core_mut(&mut self, core: CoreId) -> &mut Engine<B> {
+        &mut self.cores[core.0]
+    }
+
+    /// Loads `program` into `slot` of `core`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::load`].
+    pub fn load(
+        &mut self,
+        core: CoreId,
+        slot: TaskSlot,
+        program: impl Into<Arc<Program>>,
+    ) -> Result<(), SimError> {
+        self.cores[core.0].load(slot, program)
+    }
+
+    /// Schedules a request on `core`/`slot` at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::request_at`].
+    pub fn request_at(&mut self, cycle: u64, core: CoreId, slot: TaskSlot) -> Result<(), SimError> {
+        self.cores[core.0].request_at(cycle, slot)
+    }
+
+    /// Runs every core to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first core's simulation error.
+    pub fn run(&mut self) -> Result<Vec<Report>, SimError> {
+        self.cores.iter_mut().map(Engine::run).collect()
+    }
+
+    /// Runs every core until `deadline` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first core's simulation error.
+    pub fn run_until(&mut self, deadline: u64) -> Result<(), SimError> {
+        for c in &mut self.cores {
+            c.run_until(deadline)?;
+        }
+        Ok(())
+    }
+
+    /// Reports for all cores (indexed by core id).
+    #[must_use]
+    pub fn reports(&self) -> Vec<Report> {
+        self.cores.iter().map(Engine::report).collect()
+    }
+
+    /// Total silicon cost of the pool: N accelerator datapaths, plus one
+    /// IAU per core when the strategy needs one (any preemptive strategy).
+    #[must_use]
+    pub fn resource_cost(&self) -> ResourceEstimate {
+        let per_core = match self.cores[0].strategy() {
+            InterruptStrategy::NonPreemptive => cnn_accelerator(self.cfg.arch.parallelism),
+            _ => cnn_accelerator(self.cfg.arch.parallelism) + iau(),
+        };
+        self.cores
+            .iter()
+            .skip(1)
+            .fold(per_core, |acc, _| acc + per_core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimingBackend;
+    use inca_compiler::Compiler;
+    use inca_model::{zoo, Shape3};
+
+    fn tiny() -> Program {
+        Compiler::new(AccelConfig::paper_big().arch)
+            .compile_vi(&zoo::tiny(Shape3::new(3, 32, 32)).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn partitioned_jobs_run_in_parallel() {
+        let mut pool = CorePool::new(
+            2,
+            AccelConfig::paper_big(),
+            InterruptStrategy::NonPreemptive,
+            TimingBackend::new,
+        );
+        let slot = TaskSlot::new(1).unwrap();
+        let p = Arc::new(tiny());
+        pool.load(CoreId(0), slot, Arc::clone(&p)).unwrap();
+        pool.load(CoreId(1), slot, Arc::clone(&p)).unwrap();
+        pool.request_at(0, CoreId(0), slot).unwrap();
+        pool.request_at(0, CoreId(1), slot).unwrap();
+        let reports = pool.run().unwrap();
+        assert_eq!(reports.len(), 2);
+        // Both finish at the same (parallel) time — no serialisation.
+        assert_eq!(
+            reports[0].completed_jobs[0].finish,
+            reports[1].completed_jobs[0].finish
+        );
+    }
+
+    #[test]
+    fn pool_resource_cost_scales_with_cores() {
+        let one = CorePool::new(
+            1,
+            AccelConfig::paper_big(),
+            InterruptStrategy::VirtualInstruction,
+            TimingBackend::new,
+        );
+        let two = CorePool::new(
+            2,
+            AccelConfig::paper_big(),
+            InterruptStrategy::NonPreemptive,
+            TimingBackend::new,
+        );
+        let c1 = one.resource_cost();
+        let c2 = two.resource_cost();
+        // One preemptive core (accelerator + IAU) is far cheaper than two
+        // plain cores.
+        assert!(c1.dsp < c2.dsp);
+        assert!(c1.lut < c2.lut);
+        // And the IAU's cost is visible but small.
+        assert_eq!(c1.dsp, cnn_accelerator(AccelConfig::paper_big().arch.parallelism).dsp);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_pool_rejected() {
+        let _ = CorePool::new(
+            0,
+            AccelConfig::paper_big(),
+            InterruptStrategy::NonPreemptive,
+            TimingBackend::new,
+        );
+    }
+}

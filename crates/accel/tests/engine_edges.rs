@@ -1,0 +1,245 @@
+//! Engine edge cases: nested priorities, requests arriving during drains,
+//! auto-resubmission under preemption, state transitions, CPU-like nested
+//! snapshots and non-preemptive queueing.
+
+use std::sync::Arc;
+
+use inca_accel::{
+    AccelConfig, DdrImage, Engine, FuncBackend, InterruptStrategy, TaskState, TimingBackend,
+};
+use inca_compiler::Compiler;
+use inca_isa::{Program, TaskSlot};
+use inca_model::{zoo, Shape3};
+
+fn program(h: u32) -> Arc<Program> {
+    Arc::new(
+        Compiler::new(AccelConfig::paper_small().arch)
+            .compile_vi(&zoo::tiny(Shape3::new(3, h, h)).unwrap())
+            .unwrap(),
+    )
+}
+
+fn engine(strategy: InterruptStrategy) -> Engine<TimingBackend> {
+    Engine::new(AccelConfig::paper_small(), strategy, TimingBackend::new())
+}
+
+#[test]
+fn higher_request_during_drain_wins_the_dispatch() {
+    // Victim (slot 3) is preempted by slot 2; while the layer-by-layer
+    // drain runs, an even higher request (slot 1) arrives. After the
+    // drain, slot 1 must run first.
+    let mut e = engine(InterruptStrategy::LayerByLayer);
+    let (s1, s2, s3) = (
+        TaskSlot::new(1).unwrap(),
+        TaskSlot::new(2).unwrap(),
+        TaskSlot::new(3).unwrap(),
+    );
+    e.load(s1, program(16)).unwrap();
+    e.load(s2, program(16)).unwrap();
+    e.load(s3, program(64)).unwrap();
+    e.request_at(0, s3).unwrap();
+    e.request_at(1_000, s2).unwrap();
+    e.request_at(1_100, s1).unwrap();
+    let r = e.run().unwrap();
+    assert_eq!(r.completed_jobs.len(), 3);
+    // Completion order: s1, s2, s3.
+    let order: Vec<_> = r.completed_jobs.iter().map(|j| j.slot).collect();
+    assert_eq!(order, vec![s1, s2, s3]);
+    // Only one preemption of s3 is recorded (the drain serves both).
+    assert!(r.interrupts.iter().all(|ev| ev.victim == s3));
+}
+
+#[test]
+fn auto_resubmit_continues_under_preemption() {
+    let mut e = engine(InterruptStrategy::VirtualInstruction);
+    let (hi, lo) = (TaskSlot::new(1).unwrap(), TaskSlot::new(3).unwrap());
+    e.load(hi, program(16)).unwrap();
+    e.load(lo, program(32)).unwrap();
+    e.set_auto_resubmit(lo, true);
+    e.request_at(0, lo).unwrap();
+    for k in 0..5 {
+        e.request_at(10_000 + k * 30_000, hi).unwrap();
+    }
+    e.run_until(400_000).unwrap();
+    let r = e.report();
+    assert!(r.jobs_of(lo).count() >= 3, "PR-style task keeps completing");
+    assert_eq!(r.jobs_of(hi).count(), 5, "all high jobs done");
+    assert!(!r.interrupts.is_empty());
+}
+
+#[test]
+fn task_state_transitions() {
+    let mut e = engine(InterruptStrategy::VirtualInstruction);
+    let (hi, lo) = (TaskSlot::new(1).unwrap(), TaskSlot::new(3).unwrap());
+    e.load(hi, program(16)).unwrap();
+    e.load(lo, program(64)).unwrap();
+    assert_eq!(e.task_state(lo), TaskState::Idle);
+
+    e.request_at(0, lo).unwrap();
+    e.request_at(5_000, hi).unwrap();
+    // Before the preemption: lo running.
+    e.run_until(1_000).unwrap();
+    assert_eq!(e.task_state(lo), TaskState::Running);
+    assert_eq!(e.task_state(hi), TaskState::Idle);
+    // After the hi release and its dispatch: lo preempted, hi running.
+    e.run_until(10_000).unwrap();
+    assert_eq!(e.task_state(hi), TaskState::Running);
+    assert_eq!(e.task_state(lo), TaskState::Preempted);
+    // At the end: both idle again.
+    e.run_until(u64::MAX).unwrap();
+    assert_eq!(e.task_state(hi), TaskState::Idle);
+    assert_eq!(e.task_state(lo), TaskState::Idle);
+}
+
+#[test]
+fn non_preemptive_makes_high_wait_exactly() {
+    let mut e = engine(InterruptStrategy::NonPreemptive);
+    let (hi, lo) = (TaskSlot::new(1).unwrap(), TaskSlot::new(3).unwrap());
+    e.load(hi, program(16)).unwrap();
+    e.load(lo, program(64)).unwrap();
+    e.request_at(0, lo).unwrap();
+    e.request_at(1_000, hi).unwrap();
+    let r = e.run().unwrap();
+    let lo_job = *r.jobs_of(lo).next().unwrap();
+    let hi_job = *r.jobs_of(hi).next().unwrap();
+    // High starts exactly when low finishes.
+    assert_eq!(hi_job.start, lo_job.finish);
+    // And the recorded latency equals the wait.
+    assert_eq!(r.interrupts.len(), 1);
+    assert_eq!(r.interrupts[0].latency(), lo_job.finish - 1_000);
+    assert_eq!(r.interrupts[0].cost(), 0);
+}
+
+#[test]
+fn cpu_like_nested_snapshots_are_transparent() {
+    // Slot 3 snapshotted by slot 2's arrival, slot 2 snapshotted by
+    // slot 1's — both must restore correctly (per-slot snapshots).
+    let cfg = AccelConfig::paper_small();
+    let compiler = Compiler::new(cfg.arch);
+    let nets = [
+        zoo::tiny(Shape3::new(3, 32, 32)).unwrap(),
+        zoo::tiny(Shape3::new(3, 24, 24)).unwrap(),
+        zoo::tiny(Shape3::new(3, 16, 16)).unwrap(),
+    ];
+    let programs: Vec<Arc<Program>> = nets
+        .iter()
+        .map(|n| Arc::new(compiler.compile(n).unwrap()))
+        .collect();
+
+    // References (solo runs).
+    let mut references = Vec::new();
+    for (i, p) in programs.iter().enumerate() {
+        let slot = TaskSlot::new(3).unwrap();
+        let mut backend = FuncBackend::new();
+        backend.install_image(slot, DdrImage::for_program(p, i as u64));
+        let mut e = Engine::new(cfg, InterruptStrategy::CpuLike, backend);
+        e.load(slot, Arc::clone(p)).unwrap();
+        e.request_at(0, slot).unwrap();
+        e.run().unwrap();
+        references.push(
+            e.backend()
+                .image(slot)
+                .unwrap()
+                .read_output(p.layers.last().unwrap()),
+        );
+    }
+
+    let slots = [
+        TaskSlot::new(3).unwrap(),
+        TaskSlot::new(2).unwrap(),
+        TaskSlot::new(1).unwrap(),
+    ];
+    let mut backend = FuncBackend::new();
+    for ((slot, p), i) in slots.iter().zip(&programs).zip(0u64..) {
+        backend.install_image(*slot, DdrImage::for_program(p, i));
+    }
+    let mut e = Engine::new(cfg, InterruptStrategy::CpuLike, backend);
+    for (slot, p) in slots.iter().zip(&programs) {
+        e.load(*slot, Arc::clone(p)).unwrap();
+    }
+    // CPU-like backup moves the whole 1.1 MB cache set (~96k cycles), so
+    // slot 2 only *starts* around cycle 99k; slot 1's request must land
+    // inside slot 2's ~10k-cycle run to nest.
+    e.request_at(0, slots[0]).unwrap();
+    e.request_at(3_000, slots[1]).unwrap();
+    e.request_at(101_000, slots[2]).unwrap();
+    let r = e.run().unwrap();
+    assert!(r.interrupts.len() >= 2, "expected nested preemptions");
+    for ((slot, p), expected) in slots.iter().zip(&programs).zip(&references) {
+        let out = e
+            .backend()
+            .image(*slot)
+            .unwrap()
+            .read_output(p.layers.last().unwrap());
+        assert_eq!(&out, expected, "{slot} corrupted by nested CPU-like switches");
+    }
+}
+
+#[test]
+fn uninterrupted_makespan_is_strategy_independent() {
+    // With no contention, the interrupt strategy must not change timing:
+    // virtual instructions are free when skipped, and the original stream
+    // is identical across strategies.
+    let vi_prog = program(48);
+    let orig = Arc::new(
+        Compiler::new(AccelConfig::paper_small().arch)
+            .compile(&zoo::tiny(Shape3::new(3, 48, 48)).unwrap())
+            .unwrap(),
+    );
+    let mut spans = Vec::new();
+    for strategy in [
+        InterruptStrategy::NonPreemptive,
+        InterruptStrategy::CpuLike,
+        InterruptStrategy::LayerByLayer,
+        InterruptStrategy::VirtualInstruction,
+    ] {
+        let p = if matches!(strategy, InterruptStrategy::VirtualInstruction) {
+            Arc::clone(&vi_prog)
+        } else {
+            Arc::clone(&orig)
+        };
+        let mut e = engine(strategy);
+        let slot = TaskSlot::new(2).unwrap();
+        e.load(slot, p).unwrap();
+        e.request_at(0, slot).unwrap();
+        spans.push(e.run().unwrap().completed_jobs[0].finish);
+    }
+    assert!(
+        spans.windows(2).all(|w| w[0] == w[1]),
+        "makespans differ across strategies: {spans:?}"
+    );
+}
+
+#[test]
+fn request_after_completion_reruns_the_program() {
+    let mut e = engine(InterruptStrategy::VirtualInstruction);
+    let slot = TaskSlot::new(2).unwrap();
+    e.load(slot, program(16)).unwrap();
+    e.request_at(0, slot).unwrap();
+    e.run().unwrap();
+    let first_finish = e.report().completed_jobs[0].finish;
+    e.request_at(first_finish + 500, slot).unwrap();
+    let r = e.run().unwrap();
+    assert_eq!(r.completed_jobs.len(), 2);
+    let second = r.completed_jobs[1];
+    assert_eq!(second.release, first_finish + 500);
+    assert_eq!(
+        second.busy_cycles,
+        r.completed_jobs[0].busy_cycles,
+        "re-runs execute the identical stream"
+    );
+}
+
+#[test]
+fn simultaneous_requests_resolve_by_priority() {
+    let mut e = engine(InterruptStrategy::VirtualInstruction);
+    let (a, b) = (TaskSlot::new(1).unwrap(), TaskSlot::new(2).unwrap());
+    e.load(a, program(16)).unwrap();
+    e.load(b, program(16)).unwrap();
+    e.request_at(100, b).unwrap();
+    e.request_at(100, a).unwrap(); // same cycle, higher priority
+    let r = e.run().unwrap();
+    assert_eq!(r.completed_jobs[0].slot, a);
+    assert_eq!(r.completed_jobs[1].slot, b);
+    assert!(r.interrupts.is_empty(), "no preemption when both are pending");
+}

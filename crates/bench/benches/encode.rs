@@ -1,0 +1,27 @@
+//! Criterion micro-benchmarks of the `instruction.bin` encoder/decoder.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use inca_accel::AccelConfig;
+use inca_compiler::Compiler;
+use inca_isa::encode;
+use inca_model::{zoo, Shape3};
+
+fn bench_encode(c: &mut Criterion) {
+    let cfg = AccelConfig::paper_big();
+    let program = Compiler::new(cfg.arch)
+        .compile_vi(&zoo::mobilenet_v1(Shape3::new(3, 96, 96)).unwrap())
+        .unwrap();
+    let bin = program.to_bin();
+
+    let mut g = c.benchmark_group("encode");
+    g.throughput(Throughput::Elements(program.len() as u64));
+    g.bench_function("encode_mobilenet_96", |b| b.iter(|| program.to_bin().len()));
+    g.bench_function("decode_mobilenet_96", |b| {
+        b.iter(|| encode::decode_stream(&bin).unwrap().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks of the timing engine: instructions retired
+//! per second for an uninterrupted inference.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+use inca_accel::{AccelConfig, Engine, InterruptStrategy, TimingBackend};
+use inca_bench::Workload;
+use inca_isa::TaskSlot;
+use inca_model::{zoo, Shape3};
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = AccelConfig::paper_big();
+    let mobilenet = Workload::compile(&cfg, &zoo::mobilenet_v1(Shape3::new(3, 96, 96)).unwrap());
+    let resnet = Workload::compile(&cfg, &zoo::resnet18(Shape3::new(3, 96, 96)).unwrap());
+
+    let mut g = c.benchmark_group("engine");
+    for (name, w) in [("mobilenet_96", &mobilenet), ("resnet18_96", &resnet)] {
+        g.throughput(Throughput::Elements(w.vi.original_instrs().count() as u64));
+        g.bench_function(format!("run_{name}"), |b| {
+            b.iter(|| {
+                let slot = TaskSlot::LOWEST;
+                let mut engine =
+                    Engine::new(cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
+                engine.load(slot, Arc::clone(&w.vi)).unwrap();
+                engine.request_at(0, slot).unwrap();
+                engine.run().unwrap().final_cycle
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

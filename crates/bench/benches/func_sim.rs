@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks of the bit-exact functional backend.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+use inca_accel::{AccelConfig, DdrImage, Engine, FuncBackend, InterruptStrategy};
+use inca_compiler::Compiler;
+use inca_isa::TaskSlot;
+use inca_model::{zoo, Shape3};
+
+fn bench_func(c: &mut Criterion) {
+    let cfg = AccelConfig::paper_small();
+    let compiler = Compiler::new(cfg.arch);
+    let tiny = zoo::tiny(Shape3::new(3, 32, 32)).unwrap();
+    let program = Arc::new(compiler.compile_vi(&tiny).unwrap());
+    let macs = tiny.total_macs();
+
+    let mut g = c.benchmark_group("func_sim");
+    g.throughput(Throughput::Elements(macs));
+    g.bench_function("tiny_32_int8_inference", |b| {
+        b.iter(|| {
+            let slot = TaskSlot::LOWEST;
+            let mut backend = FuncBackend::new();
+            backend.install_image(slot, DdrImage::for_program(&program, 1));
+            let mut engine = Engine::new(cfg, InterruptStrategy::VirtualInstruction, backend);
+            engine.load(slot, Arc::clone(&program)).unwrap();
+            engine.request_at(0, slot).unwrap();
+            engine.run().unwrap().final_cycle
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_func);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Per-layer profiler: where do a network's cycles go on the simulated
+//! accelerator? Prints the hottest layers, the opcode breakdown and the
+//! compute-array utilisation.
+//!
+//! ```sh
+//! cargo run --release -p inca-bench --bin profile_network -- resnet101
+//! ```
+
+use inca_accel::{AccelConfig, Engine, InterruptStrategy, TimingBackend};
+use inca_bench::{Workload, CAMERA};
+use inca_isa::{Opcode, TaskSlot};
+use inca_model::{zoo, Network, Shape3};
+
+fn pick(name: &str) -> Network {
+    match name {
+        "vgg16" => zoo::vgg16(CAMERA, false),
+        "superpoint" => zoo::superpoint(Shape3::new(1, CAMERA.h, CAMERA.w)),
+        "resnet18" => zoo::resnet18(CAMERA),
+        "resnet50" => zoo::resnet50(CAMERA),
+        "resnet101" => zoo::resnet101(CAMERA),
+        "gem" => zoo::gem_resnet101(CAMERA),
+        "mobilenet" => zoo::mobilenet_v1(CAMERA),
+        "squeezenet" => zoo::squeezenet(CAMERA),
+        _ => zoo::resnet101(CAMERA),
+    }
+    .expect("zoo network")
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "resnet101".into());
+    let cfg = AccelConfig::paper_big();
+    let net = pick(&name);
+    let workload = Workload::compile(&cfg, &net);
+    let slot = TaskSlot::LOWEST;
+
+    let mut engine = Engine::new(cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
+    engine.set_profiling(true);
+    engine.load(slot, workload.vi.clone()).expect("load");
+    engine.request_at(0, slot).expect("request");
+    let report = engine.run().expect("run");
+    let profile = report.profile.as_ref().expect("profiling on");
+    let total = report.final_cycle;
+
+    println!(
+        "profile of `{}` at {} ({:.2} GMACs): {:.2} ms total\n",
+        net.name,
+        CAMERA,
+        net.total_macs() as f64 / 1e9,
+        cfg.cycles_to_ms(total)
+    );
+
+    println!("opcode breakdown:");
+    for (op, cycles) in Opcode::ALL.iter().zip(profile.per_opcode.iter()) {
+        if *cycles == 0 {
+            continue;
+        }
+        println!(
+            "  {:<10} {:>10.2} ms  {:>5.1}%",
+            op.mnemonic(),
+            cfg.cycles_to_ms(*cycles),
+            100.0 * *cycles as f64 / total as f64
+        );
+    }
+
+    // Utilisation: CALC cycles vs wall clock.
+    let calc: u64 = Opcode::ALL
+        .iter()
+        .zip(profile.per_opcode.iter())
+        .filter(|(op, _)| op.is_calc())
+        .map(|(_, c)| *c)
+        .sum();
+    println!(
+        "\ncompute-array occupancy: {:.1}% of wall-clock cycles are CALC",
+        100.0 * calc as f64 / total as f64
+    );
+    println!(
+        "effective MAC rate: {:.2} GMAC/s of the array's {:.2} GMAC/s peak\n",
+        net.total_macs() as f64 / (total as f64 / cfg.clock_hz as f64) / 1e9,
+        f64::from(cfg.arch.parallelism.pe_count())
+            * f64::from(cfg.convolver_kernel as u32 * cfg.convolver_kernel as u32)
+            * cfg.clock_hz as f64
+            / 1e9
+    );
+
+    println!("hottest layers:");
+    for (layer, cycles) in profile.hottest_layers(slot).into_iter().take(12) {
+        let meta = &workload.vi.layers[usize::from(layer)];
+        println!(
+            "  {:<22} {:?} {:>14} -> {:<14} {:>9.2} ms  {:>5.1}%",
+            meta.name,
+            meta.kind,
+            meta.in_shape.to_string(),
+            meta.out_shape.to_string(),
+            cfg.cycles_to_ms(cycles),
+            100.0 * cycles as f64 / total as f64
+        );
+    }
+}

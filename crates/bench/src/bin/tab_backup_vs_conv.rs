@@ -1,0 +1,106 @@
+//! E5 / draft table "timecompare": data-backup time (t2) vs convolution
+//! time (t1) at interrupt positions in five representative layer shapes,
+//! big accelerator @300 MHz.
+//!
+//! This is the table the cost model is *calibrated* against, so it doubles
+//! as the calibration report: paper value vs measured value per row.
+
+use inca_accel::{analysis, AccelConfig, InterruptStrategy};
+use inca_bench::{print_row, probe_interrupt, tiny_requester, Workload};
+use inca_isa::Shape3;
+use inca_model::NetworkBuilder;
+
+struct Row {
+    h: u32,
+    w: u32,
+    cin: u32,
+    cout: u32,
+    k: u8,
+    stride: u8,
+    paper_backup_us: f64,
+    paper_conv_us: f64,
+}
+
+const ROWS: [Row; 5] = [
+    Row { h: 480, w: 640, cin: 3, cout: 64, k: 7, stride: 2, paper_backup_us: 26.29, paper_conv_us: 52.38 },
+    Row { h: 120, w: 160, cin: 128, cout: 128, k: 3, stride: 1, paper_backup_us: 8.77, paper_conv_us: 41.18 },
+    Row { h: 30, w: 40, cin: 1024, cout: 2048, k: 1, stride: 1, paper_backup_us: 1.25, paper_conv_us: 8.75 },
+    Row { h: 30, w: 40, cin: 512, cout: 512, k: 3, stride: 1, paper_backup_us: 1.42, paper_conv_us: 39.36 },
+    Row { h: 16, w: 20, cin: 512, cout: 512, k: 3, stride: 1, paper_backup_us: 0.75, paper_conv_us: 20.16 },
+];
+
+fn main() {
+    let cfg = AccelConfig::paper_big();
+    let requester = tiny_requester(&cfg);
+    println!("E5: backup (t2) vs convolution (t1) time, big accelerator @300 MHz\n");
+    let widths = [14usize, 8, 11, 11, 8, 11, 11, 8, 9];
+    print_row(
+        &[
+            "HxW".into(),
+            "CinCout".into(),
+            "bkp paper".into(),
+            "bkp ours".into(),
+            "eng t2".into(),
+            "conv paper".into(),
+            "conv ours".into(),
+            "ratio".into(),
+            "paper%".into(),
+        ],
+        &widths,
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+
+    for r in &ROWS {
+        let pad = r.k / 2;
+        let mut b = NetworkBuilder::new("layer", Shape3::new(r.cin, r.h, r.w));
+        let x = b.input_id();
+        let c = b.conv("conv", x, r.cout, r.k, r.stride, pad, false).expect("conv");
+        let net = b.finish(vec![c]).expect("net");
+        let meta_idx = 0usize;
+
+        let workload = Workload::compile(&cfg, &net);
+        let meta = &workload.vi.layers[meta_idx];
+
+        // Analytic: one CalcBlob's compute time and one blob's backup.
+        let icg = meta.in_shape.c.div_ceil(u32::from(cfg.arch.parallelism.input));
+        let conv_cycles = u64::from(icg) * analysis::t_instr(&cfg, meta);
+        let blob_bytes = u64::from(cfg.arch.parallelism.output)
+            * u64::from(cfg.arch.parallelism.height)
+            * u64::from(meta.out_shape.w);
+        let backup_cycles = cfg.dma_cycles(blob_bytes);
+
+        // Engine-measured t2: request very early so the drain lands on the
+        // first interrupt point (after the first CALC_F, one unsaved blob).
+        let ev = probe_interrupt(
+            &cfg,
+            InterruptStrategy::VirtualInstruction,
+            &workload,
+            &requester,
+            1,
+        );
+
+        let (bkp, conv) = (cfg.cycles_to_us(backup_cycles), cfg.cycles_to_us(conv_cycles));
+        print_row(
+            &[
+                format!("{}x{}", r.h, r.w),
+                format!("{}>{}", r.cin, r.cout),
+                format!("{:.2}", r.paper_backup_us),
+                format!("{bkp:.2}"),
+                format!("{:.2}", cfg.cycles_to_us(ev.t2)),
+                format!("{:.2}", r.paper_conv_us),
+                format!("{conv:.2}"),
+                format!("{:.1}%", 100.0 * bkp / conv),
+                format!(
+                    "{:.1}%",
+                    100.0 * r.paper_backup_us / r.paper_conv_us
+                ),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nshape check: backup is a small fraction of convolution except for the first\n\
+         layer (tiny Ch_in makes the blob cheap to compute but wide to store) — the\n\
+         same pattern as the paper's 50.2%/21.3%/14.3%/3.6%/3.8% column."
+    );
+}

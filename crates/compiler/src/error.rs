@@ -1,0 +1,63 @@
+//! Compiler error type.
+
+use inca_isa::IsaError;
+use inca_model::ModelError;
+
+/// Errors produced while compiling a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The input network failed validation.
+    Model(ModelError),
+    /// Emitted program failed ISA validation (a compiler bug if it ever
+    /// surfaces; kept as an error for defence in depth).
+    Isa(IsaError),
+    /// A geometry the backend cannot encode (message explains the limit).
+    Unsupported(String),
+    /// A tile exceeds an on-chip buffer capacity.
+    BufferOverflow {
+        /// Which buffer.
+        buffer: &'static str,
+        /// Bytes needed.
+        needed: u64,
+        /// Bytes available.
+        capacity: u64,
+        /// Layer name.
+        layer: String,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Model(e) => write!(f, "model error: {e}"),
+            CompileError::Isa(e) => write!(f, "isa error: {e}"),
+            CompileError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CompileError::BufferOverflow { buffer, needed, capacity, layer } => write!(
+                f,
+                "layer `{layer}` needs {needed} bytes of {buffer} buffer, only {capacity} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Model(e) => Some(e),
+            CompileError::Isa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CompileError {
+    fn from(e: ModelError) -> Self {
+        CompileError::Model(e)
+    }
+}
+
+impl From<IsaError> for CompileError {
+    fn from(e: IsaError) -> Self {
+        CompileError::Isa(e)
+    }
+}

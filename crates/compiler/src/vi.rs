@@ -1,0 +1,400 @@
+//! The virtual-instruction pass (paper §IV-B/§IV-C).
+//!
+//! Takes an *original*-ISA program and returns the interruptible VI-ISA
+//! program: after every `CALC_F` (unless a `SAVE` immediately follows) and
+//! after every `SAVE`, an interrupt point is inserted containing
+//!
+//! * one `VIR_SAVE` per CalcBlob that has been computed but whose covering
+//!   `SAVE` has not executed yet (flushing it early on interrupt; the later
+//!   real `SAVE` is patched by the IAU so no output byte is transferred
+//!   twice), and
+//! * one `VIR_LOAD_D` / `VIR_LOAD_W` per on-chip-resident load whose data
+//!   later instructions still consume (restoring it on resume).
+//!
+//! Points after `LOAD`s or `CALC_I`s are deliberately *not* created: the
+//! paper shows they would waste bandwidth (flushed fresh loads) or force
+//! intermediate-accumulator backup (§IV-C, Table I).
+
+use std::collections::HashMap;
+
+use inca_isa::{DdrRange, Instr, LayerKind, LayerMeta, Opcode, Program, Tile};
+
+use crate::{CompileError, CompileOptions};
+use inca_isa::ArchSpec;
+
+/// A computed-but-unsaved CalcBlob awaiting its covering `SAVE`.
+#[derive(Debug, Clone, Copy)]
+struct PendingBlob {
+    blob: u32,
+    layer: u16,
+    tile: Tile,
+    save_id: u32,
+}
+
+/// A load whose buffer contents are still live.
+#[derive(Debug, Clone, Copy)]
+struct LiveLoad {
+    pc: usize,
+    instr: Instr,
+    last_use: usize,
+}
+
+fn ranges_intersect(a: std::ops::Range<u32>, b: std::ops::Range<u32>) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+/// Data-buffer channel intervals a CALC consumes (two for `Add`).
+fn consumed_data_channels(meta: &LayerMeta, calc: &Instr) -> [Option<std::ops::Range<u32>>; 2] {
+    match meta.kind {
+        LayerKind::Conv { .. } | LayerKind::FullyConnected => [Some(calc.tile.ic_range()), None],
+        LayerKind::Add => {
+            let a = calc.tile.chan_range();
+            let c = meta.in_shape.c;
+            [Some(a.clone()), Some(a.start + c..a.end + c)]
+        }
+        _ => [Some(calc.tile.chan_range()), None],
+    }
+}
+
+fn calc_uses_load(meta: &LayerMeta, calc: &Instr, load: &Instr) -> bool {
+    match load.op {
+        Opcode::LoadD => {
+            let (r0, r1) = meta.input_rows_for(u32::from(calc.tile.h0), u32::from(calc.tile.rows));
+            if !ranges_intersect(load.tile.row_range(), r0..r1) {
+                return false;
+            }
+            consumed_data_channels(meta, calc)
+                .into_iter()
+                .flatten()
+                .any(|r| ranges_intersect(load.tile.chan_range(), r))
+        }
+        Opcode::LoadW => {
+            ranges_intersect(load.tile.chan_range(), calc.tile.chan_range())
+                && (!meta.kind.reduces_input_channels()
+                    || ranges_intersect(load.tile.ic_range(), calc.tile.ic_range()))
+        }
+        _ => false,
+    }
+}
+
+/// Buffer-slot key: a later load with the same key overwrites the data.
+fn slot_key(i: &Instr) -> (Opcode, u16, u16, u16, u16, u16) {
+    (i.op, i.layer, i.tile.c0, i.tile.chans, i.tile.ic0, i.tile.ics)
+}
+
+/// Computes, for every load in the program, the pc of its last consumer
+/// before the data is overwritten.
+fn load_liveness(program: &Program) -> Vec<LiveLoad> {
+    let mut lives: Vec<LiveLoad> = Vec::new();
+    let mut active: HashMap<(Opcode, u16, u16, u16, u16, u16), usize> = HashMap::new();
+    let mut current_layer = u16::MAX;
+    for (pc, i) in program.instrs.iter().enumerate() {
+        if i.layer != current_layer {
+            current_layer = i.layer;
+            active.clear();
+        }
+        match i.op {
+            Opcode::LoadD | Opcode::LoadW => {
+                let idx = lives.len();
+                lives.push(LiveLoad { pc, instr: *i, last_use: pc });
+                active.insert(slot_key(i), idx);
+            }
+            Opcode::CalcI | Opcode::CalcF => {
+                let meta = program.layer_of(i);
+                for &idx in active.values() {
+                    if calc_uses_load(meta, i, &lives[idx].instr) {
+                        lives[idx].last_use = pc;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    lives
+}
+
+fn vir_save_for(meta: &LayerMeta, pb: &PendingBlob) -> Instr {
+    let w_out = u64::from(meta.out_shape.w);
+    let addr = meta.output_addr
+        + (u64::from(pb.tile.c0) * u64::from(meta.out_shape.h) + u64::from(pb.tile.h0)) * w_out;
+    let bytes = u32::try_from(u64::from(pb.tile.chans) * u64::from(pb.tile.rows) * w_out)
+        .expect("blob bytes fit u32");
+    Instr::transfer(
+        Opcode::VirSave,
+        pb.layer,
+        pb.blob,
+        Tile::rows_chans(pb.tile.h0, pb.tile.rows, pb.tile.c0, pb.tile.chans),
+        DdrRange::new(addr, bytes),
+    )
+    .with_save_id(pb.save_id)
+}
+
+fn vir_load_for(load: &Instr) -> Instr {
+    let op = match load.op {
+        Opcode::LoadD => Opcode::VirLoadD,
+        Opcode::LoadW => Opcode::VirLoadW,
+        other => unreachable!("vir_load_for on {other}"),
+    };
+    Instr { op, ..*load }
+}
+
+/// Applies the VI pass to an original-ISA program.
+///
+/// # Errors
+///
+/// [`CompileError::Unsupported`] when the input already contains virtual
+/// instructions, or a `CALC_F` blob has no covering `SAVE` (malformed
+/// input); [`CompileError::Isa`] if the produced program fails validation.
+pub fn vi_pass(
+    program: &Program,
+    _arch: &ArchSpec,
+    _options: &CompileOptions,
+) -> Result<Program, CompileError> {
+    if !program.interrupt_points.is_empty() || program.instrs.iter().any(|i| i.op.is_virtual()) {
+        return Err(CompileError::Unsupported(
+            "vi_pass input must be an original-ISA program".into(),
+        ));
+    }
+
+    // Pass 1a: blob -> covering save id.
+    let mut blob_save: HashMap<u32, u32> = HashMap::new();
+    {
+        let mut open: Vec<u32> = Vec::new();
+        for i in &program.instrs {
+            match i.op {
+                Opcode::CalcF => open.push(i.blob),
+                Opcode::Save => {
+                    for b in open.drain(..) {
+                        blob_save.insert(b, i.save_id);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !open.is_empty() {
+            return Err(CompileError::Unsupported(format!(
+                "{} CalcBlob(s) have no covering SAVE",
+                open.len()
+            )));
+        }
+    }
+
+    // Pass 1b: load liveness.
+    let lives = load_liveness(program);
+
+    // Pass 2: re-emit with virtual groups.
+    let mut b = Program::builder(program.name.clone());
+    b.layers = program.layers.clone();
+    b.memory = program.memory.clone();
+
+    let mut unsaved: Vec<PendingBlob> = Vec::new();
+    let mut active: Vec<LiveLoad> = Vec::new();
+    let mut next_live = 0usize;
+
+    for (pc, i) in program.instrs.iter().enumerate() {
+        while next_live < lives.len() && lives[next_live].pc == pc {
+            active.push(lives[next_live]);
+            next_live += 1;
+        }
+        b.push(*i);
+        // The builder re-allocates save ids; keep them aligned with the
+        // original (same order, so identical values) — assert in debug.
+        if i.op == Opcode::Save {
+            let reissued = b.alloc_save_id();
+            debug_assert_eq!(reissued, i.save_id, "save-id drift in vi_pass");
+        }
+
+        let point_here = match i.op {
+            Opcode::CalcF => !matches!(
+                program.instrs.get(pc + 1).map(|n| n.op),
+                Some(Opcode::Save)
+            ),
+            Opcode::Save => true,
+            _ => false,
+        };
+
+        match i.op {
+            Opcode::CalcF => {
+                let save_id = *blob_save.get(&i.blob).ok_or_else(|| {
+                    CompileError::Unsupported(format!("blob {} lacks a covering SAVE", i.blob))
+                })?;
+                unsaved.push(PendingBlob { blob: i.blob, layer: i.layer, tile: i.tile, save_id });
+            }
+            Opcode::Save => {
+                unsaved.retain(|pb| pb.save_id != i.save_id);
+            }
+            _ => {}
+        }
+
+        if point_here {
+            let vir_start = b.pc();
+            for pb in &unsaved {
+                let meta = &program.layers[usize::from(pb.layer)];
+                b.push(vir_save_for(meta, pb));
+            }
+            active.retain(|l| l.last_use > pc);
+            for l in &active {
+                b.push(vir_load_for(&l.instr));
+            }
+            b.mark_interrupt_point(vir_start, i.layer);
+        }
+    }
+
+    b.build().map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compiler, LoopOrder};
+    use inca_isa::ArchSpec;
+    use inca_model::{zoo, Shape3};
+
+    fn compiler() -> Compiler {
+        Compiler::new(ArchSpec::angel_eye_big())
+    }
+
+    #[test]
+    fn erasure_property_on_zoo() {
+        for net in [
+            zoo::tiny(Shape3::new(3, 16, 16)).unwrap(),
+            zoo::mobilenet_v1(Shape3::new(3, 64, 64)).unwrap(),
+            zoo::resnet18(Shape3::new(3, 64, 64)).unwrap(),
+        ] {
+            let c = compiler();
+            let original = c.compile(&net).unwrap();
+            let vi = c.compile_vi(&net).unwrap();
+            let stripped: Vec<Instr> = vi.original_instrs().map(|(_, i)| *i).collect();
+            assert_eq!(stripped, original.instrs, "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn every_point_follows_calc_f_or_save() {
+        let net = zoo::tiny(Shape3::new(3, 32, 32)).unwrap();
+        let vi = compiler().compile_vi(&net).unwrap();
+        for p in &vi.interrupt_points {
+            let before = vi.instrs[p.vir_start as usize - 1].op;
+            assert!(
+                matches!(before, Opcode::CalcF | Opcode::Save),
+                "point after {before}"
+            );
+        }
+        assert!(!vi.interrupt_points.is_empty());
+    }
+
+    #[test]
+    fn no_point_between_calc_f_and_save() {
+        let net = zoo::tiny(Shape3::new(3, 32, 32)).unwrap();
+        let vi = compiler().compile_vi(&net).unwrap();
+        for (pc, i) in vi.instrs.iter().enumerate() {
+            if i.op == Opcode::CalcF && matches!(vi.instrs.get(pc + 1).map(|n| n.op), Some(Opcode::Save)) {
+                assert!(
+                    !vi.interrupt_points.iter().any(|p| p.vir_start as usize == pc + 1),
+                    "redundant point between CALC_F and SAVE at pc {pc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vir_saves_cover_unsaved_prefix() {
+        // Force multiple blobs per save group: 64 out channels -> 4 blobs,
+        // group cap default 8 -> one SAVE per tile, so points after the
+        // first blobs carry growing VIR_SAVE prefixes.
+        let mut b = inca_model::NetworkBuilder::new("t", Shape3::new(16, 8, 8));
+        let x = b.input_id();
+        let c = b.conv("c", x, 64, 3, 1, 1, false).unwrap();
+        let net = b.finish(vec![c]).unwrap();
+        let vi = compiler().compile_vi(&net).unwrap();
+
+        let mut seen = Vec::new();
+        for p in &vi.interrupt_points {
+            let virs: Vec<_> = vi.instrs[p.vir_range()]
+                .iter()
+                .filter(|i| i.op == Opcode::VirSave)
+                .map(|i| i.blob)
+                .collect();
+            seen.push(virs);
+        }
+        // Mid-group points exist and are prefix-ordered by blob id.
+        assert!(seen.iter().any(|v| !v.is_empty()));
+        for virs in &seen {
+            for w in virs.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+        // A point right after SAVE has no VIR_SAVEs.
+        let after_save = vi
+            .interrupt_points
+            .iter()
+            .find(|p| vi.instrs[p.vir_start as usize - 1].op == Opcode::Save)
+            .unwrap();
+        assert!(vi.instrs[after_save.vir_range()]
+            .iter()
+            .all(|i| i.op != Opcode::VirSave));
+    }
+
+    #[test]
+    fn vir_load_d_restores_resident_tile_inputs() {
+        // Resident conv: LOAD_Ds appear only in the first blob of each
+        // height tile; a mid-tile point must restore them.
+        let mut b = inca_model::NetworkBuilder::new("t", Shape3::new(16, 8, 8));
+        let x = b.input_id();
+        let c = b.conv("c", x, 64, 3, 1, 1, false).unwrap();
+        let net = b.finish(vec![c]).unwrap();
+        let vi = compiler().compile_vi(&net).unwrap();
+        let mid_point = vi
+            .interrupt_points
+            .iter()
+            .find(|p| {
+                vi.instrs[p.vir_start as usize - 1].op == Opcode::CalcF
+                    && vi.instrs[p.vir_range()].iter().any(|i| i.op == Opcode::VirLoadD)
+            })
+            .expect("expected a mid-tile point with VIR_LOAD_D");
+        let vir_d: Vec<_> = vi.instrs[mid_point.vir_range()]
+            .iter()
+            .filter(|i| i.op == Opcode::VirLoadD)
+            .collect();
+        // The restored bytes equal the original resident loads: all 16
+        // input channels x 8 input rows x width 8.
+        let total: u32 = vir_d.iter().map(|i| i.ddr.bytes).sum();
+        assert_eq!(total, 16 * 8 * 8);
+    }
+
+    #[test]
+    fn channel_outer_emits_vir_load_w() {
+        let net = zoo::tiny(Shape3::new(3, 32, 32)).unwrap();
+        let arch = ArchSpec::angel_eye_big();
+        let opts = CompileOptions::default().with_loop_order(LoopOrder::ChannelOuter);
+        let c = Compiler::with_options(arch, opts);
+        let vi = c.compile_vi(&net).unwrap();
+        assert!(
+            vi.instrs.iter().any(|i| i.op == Opcode::VirLoadW),
+            "weight-resident order should need VIR_LOAD_W"
+        );
+    }
+
+    #[test]
+    fn vi_pass_rejects_vi_input() {
+        let net = zoo::tiny(Shape3::new(3, 16, 16)).unwrap();
+        let c = compiler();
+        let vi = c.compile_vi(&net).unwrap();
+        assert!(matches!(
+            vi_pass(&vi, c.arch(), c.options()),
+            Err(CompileError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn vi_overhead_is_bounded() {
+        // Virtual instructions cost nothing at run time when skipped, but
+        // keep the stream size sane: < 6x the original for default options.
+        let net = zoo::resnet18(Shape3::new(3, 64, 64)).unwrap();
+        let c = compiler();
+        let original = c.compile(&net).unwrap();
+        let vi = c.compile_vi(&net).unwrap();
+        assert!(vi.len() < original.len() * 6);
+        assert!(vi.stats().virtual_instrs > 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Textual assembly for VI-ISA instruction streams.
+//!
+//! A stable, line-oriented, machine-parsable twin of the binary
+//! `instruction.bin` format — handy for diffing compiler output, writing
+//! hand-crafted test programs and inspecting what the VI pass inserted.
+//!
+//! ```text
+//! ; comment
+//! LOAD_D   layer=0 blob=0 tile=0,8,0,16,0,0   ddr=0x40,512  save=0
+//! CALC_F   layer=0 blob=0 tile=0,8,0,16,0,16  ddr=0x0,0     save=0
+//! SAVE     layer=0 blob=0 tile=0,8,0,16,0,0   ddr=0x240,512 save=1
+//! ```
+//!
+//! Every instruction is one line of `MNEMONIC key=value...`; `tile` packs
+//! `h0,rows,c0,chans,ic0,ics`, `ddr` packs `addr,bytes` (address in hex).
+
+use crate::{DdrRange, Instr, IsaError, Opcode, Tile};
+
+/// Formats one instruction as an assembly line.
+#[must_use]
+pub fn instr_to_asm(i: &Instr) -> String {
+    let t = i.tile;
+    format!(
+        "{:<10} layer={} blob={} tile={},{},{},{},{},{} ddr={:#x},{} save={}",
+        i.op.mnemonic(),
+        i.layer,
+        i.blob,
+        t.h0,
+        t.rows,
+        t.c0,
+        t.chans,
+        t.ic0,
+        t.ics,
+        i.ddr.addr,
+        i.ddr.bytes,
+        i.save_id,
+    )
+}
+
+/// Formats a whole stream (one instruction per line).
+#[must_use]
+pub fn stream_to_asm(instrs: &[Instr]) -> String {
+    let mut out = String::with_capacity(instrs.len() * 64);
+    for i in instrs {
+        out.push_str(&instr_to_asm(i));
+        out.push('\n');
+    }
+    out
+}
+
+fn mnemonic_to_opcode(m: &str) -> Result<Opcode, IsaError> {
+    Opcode::ALL
+        .into_iter()
+        .find(|op| op.mnemonic() == m)
+        .ok_or_else(|| IsaError::Invalid(format!("unknown mnemonic `{m}`")))
+}
+
+fn parse_u64(field: &str, s: &str) -> Result<u64, IsaError> {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| IsaError::Invalid(format!("bad number `{s}` in field `{field}`")))
+}
+
+fn parse_n<const N: usize>(field: &str, s: &str) -> Result<[u64; N], IsaError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != N {
+        return Err(IsaError::Invalid(format!(
+            "field `{field}` needs {N} comma-separated values, got {}",
+            parts.len()
+        )));
+    }
+    let mut out = [0u64; N];
+    for (o, p) in out.iter_mut().zip(parts) {
+        *o = parse_u64(field, p)?;
+    }
+    Ok(out)
+}
+
+fn narrow<T: TryFrom<u64>>(field: &str, v: u64) -> Result<T, IsaError> {
+    T::try_from(v).map_err(|_| IsaError::Invalid(format!("field `{field}` out of range: {v}")))
+}
+
+/// Parses one assembly line (comments and blank lines are the caller's
+/// business — see [`parse_stream_asm`]).
+///
+/// # Errors
+///
+/// [`IsaError::Invalid`] for unknown mnemonics, missing/duplicate fields
+/// or out-of-range values.
+pub fn parse_instr_asm(line: &str) -> Result<Instr, IsaError> {
+    let mut parts = line.split_whitespace();
+    let mnemonic = parts
+        .next()
+        .ok_or_else(|| IsaError::Invalid("empty instruction line".into()))?;
+    let op = mnemonic_to_opcode(mnemonic)?;
+    let (mut layer, mut blob, mut tile, mut ddr, mut save) =
+        (None, None, None, None, None);
+    for kv in parts {
+        let (key, value) = kv
+            .split_once('=')
+            .ok_or_else(|| IsaError::Invalid(format!("expected key=value, got `{kv}`")))?;
+        match key {
+            "layer" => layer = Some(narrow::<u16>(key, parse_u64(key, value)?)?),
+            "blob" => blob = Some(narrow::<u32>(key, parse_u64(key, value)?)?),
+            "tile" => {
+                let [h0, rows, c0, chans, ic0, ics] = parse_n::<6>(key, value)?;
+                tile = Some(Tile::new(
+                    narrow(key, h0)?,
+                    narrow(key, rows)?,
+                    narrow(key, c0)?,
+                    narrow(key, chans)?,
+                    narrow(key, ic0)?,
+                    narrow(key, ics)?,
+                ));
+            }
+            "ddr" => {
+                let [addr, bytes] = parse_n::<2>(key, value)?;
+                ddr = Some(DdrRange::new(addr, narrow(key, bytes)?));
+            }
+            "save" => save = Some(narrow::<u32>(key, parse_u64(key, value)?)?),
+            other => return Err(IsaError::Invalid(format!("unknown field `{other}`"))),
+        }
+    }
+    let missing = |f: &str| IsaError::Invalid(format!("missing field `{f}` in `{line}`"));
+    Ok(Instr {
+        op,
+        layer: layer.ok_or_else(|| missing("layer"))?,
+        blob: blob.ok_or_else(|| missing("blob"))?,
+        tile: tile.ok_or_else(|| missing("tile"))?,
+        ddr: ddr.ok_or_else(|| missing("ddr"))?,
+        save_id: save.ok_or_else(|| missing("save"))?,
+    })
+}
+
+/// Parses a whole assembly stream; `;`-comments and blank lines are
+/// skipped.
+///
+/// # Errors
+///
+/// Reports the first offending line with its 1-based line number.
+pub fn parse_stream_asm(text: &str) -> Result<Vec<Instr>, IsaError> {
+    let mut out = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_instr_asm(line).map_err(|e| {
+            IsaError::Invalid(format!("line {}: {e}", no + 1))
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instr {
+        Instr {
+            op: Opcode::VirSave,
+            layer: 12,
+            blob: 345,
+            tile: Tile::new(8, 4, 16, 16, 0, 8),
+            ddr: DdrRange::new(0xbeef, 4096),
+            save_id: 7,
+        }
+    }
+
+    #[test]
+    fn instr_asm_round_trip() {
+        let i = sample();
+        let line = instr_to_asm(&i);
+        assert_eq!(parse_instr_asm(&line).unwrap(), i);
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        for op in Opcode::ALL {
+            let mut i = sample();
+            i.op = op;
+            let line = instr_to_asm(&i);
+            assert_eq!(parse_instr_asm(&line).unwrap(), i, "{line}");
+        }
+    }
+
+    #[test]
+    fn stream_round_trip_with_comments() {
+        let instrs: Vec<Instr> = Opcode::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(k, op)| Instr { op, blob: k as u32, ..sample() })
+            .collect();
+        let mut text = String::from("; header comment\n\n");
+        text.push_str(&stream_to_asm(&instrs));
+        text.push_str("   ; trailing comment line\n");
+        assert_eq!(parse_stream_asm(&text).unwrap(), instrs);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse_instr_asm("FROB layer=0").is_err());
+        assert!(parse_instr_asm("SAVE layer=0 blob=0 tile=1,2,3 ddr=0,0 save=0").is_err());
+        assert!(parse_instr_asm("SAVE layer=70000 blob=0 tile=0,0,0,0,0,0 ddr=0,0 save=0").is_err());
+        assert!(parse_instr_asm("SAVE layer=0 blob=0 tile=0,0,0,0,0,0 ddr=0,0").is_err());
+        assert!(parse_instr_asm("SAVE bogus").is_err());
+        let err = parse_stream_asm("SAVE layer=0\nGARBAGE\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn hand_written_asm_parses() {
+        let text = "\
+; a tiny hand-written blob
+LOAD_D  layer=0 blob=0 tile=0,8,0,16,0,0  ddr=0x40,512 save=0
+LOAD_W  layer=0 blob=0 tile=0,0,0,16,0,16 ddr=0x0,64   save=0
+CALC_F  layer=0 blob=0 tile=0,8,0,16,0,16 ddr=0x0,0    save=0
+SAVE    layer=0 blob=0 tile=0,8,0,16,0,0  ddr=0x240,512 save=1
+";
+        let instrs = parse_stream_asm(text).unwrap();
+        assert_eq!(instrs.len(), 4);
+        assert_eq!(instrs[3].op, Opcode::Save);
+        assert_eq!(instrs[3].save_id, 1);
+        assert_eq!(instrs[0].ddr.addr, 0x40);
+    }
+}

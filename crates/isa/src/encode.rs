@@ -1,0 +1,208 @@
+//! Binary encoding of VI-ISA instruction streams (`instruction.bin`).
+//!
+//! The paper's compiler "dumps the wrapped VI-ISA instructions into a file
+//! (`instruction.bin`)" which the runtime loads into the FPGA's DDR
+//! instruction space. This module reproduces that artefact as a fixed-width
+//! little-endian record format:
+//!
+//! ```text
+//! file   := header record*
+//! header := magic "VIIS" (4) | version u16 | record_size u16 | count u32 | reserved u32
+//! record := opcode u8 | flags u8 | layer u16 | blob u32
+//!         | h0 u16 | rows u16 | c0 u16 | chans u16 | ic0 u16 | ics u16
+//!         | save_id u32 | ddr_addr u64 | ddr_bytes u32 | reserved u32
+//! ```
+//!
+//! Each record is exactly [`RECORD_BYTES`] (40) bytes.
+
+use bytes::{Buf, BufMut};
+
+use crate::instr::RECORD_BYTES;
+use crate::{DdrRange, Instr, IsaError, Opcode, Program, Tile};
+
+/// File magic of `instruction.bin`.
+pub const MAGIC: [u8; 4] = *b"VIIS";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Header size in bytes.
+pub const HEADER_BYTES: usize = 16;
+
+/// Encodes one instruction into its 40-byte record.
+#[must_use]
+pub fn encode_instr(instr: &Instr) -> [u8; RECORD_BYTES] {
+    let mut buf = [0u8; RECORD_BYTES];
+    {
+        let mut w: &mut [u8] = &mut buf;
+        w.put_u8(instr.op as u8);
+        w.put_u8(0); // flags (reserved)
+        w.put_u16_le(instr.layer);
+        w.put_u32_le(instr.blob);
+        w.put_u16_le(instr.tile.h0);
+        w.put_u16_le(instr.tile.rows);
+        w.put_u16_le(instr.tile.c0);
+        w.put_u16_le(instr.tile.chans);
+        w.put_u16_le(instr.tile.ic0);
+        w.put_u16_le(instr.tile.ics);
+        w.put_u32_le(instr.save_id);
+        w.put_u64_le(instr.ddr.addr);
+        w.put_u32_le(instr.ddr.bytes);
+        w.put_u32_le(0); // reserved
+    }
+    buf
+}
+
+/// Decodes one instruction record.
+///
+/// # Errors
+///
+/// [`IsaError::TruncatedRecord`] when fewer than [`RECORD_BYTES`] bytes are
+/// available; [`IsaError::UnknownOpcode`] for unassigned opcode bytes.
+pub fn decode_instr(bytes: &[u8]) -> Result<Instr, IsaError> {
+    if bytes.len() < RECORD_BYTES {
+        return Err(IsaError::TruncatedRecord { len: bytes.len(), expected: RECORD_BYTES });
+    }
+    let mut r: &[u8] = bytes;
+    let op = Opcode::from_byte(r.get_u8())?;
+    let _flags = r.get_u8();
+    let layer = r.get_u16_le();
+    let blob = r.get_u32_le();
+    let tile = Tile {
+        h0: r.get_u16_le(),
+        rows: r.get_u16_le(),
+        c0: r.get_u16_le(),
+        chans: r.get_u16_le(),
+        ic0: r.get_u16_le(),
+        ics: r.get_u16_le(),
+    };
+    let save_id = r.get_u32_le();
+    let ddr = DdrRange { addr: r.get_u64_le(), bytes: r.get_u32_le() };
+    Ok(Instr { op, layer, blob, tile, ddr, save_id })
+}
+
+/// Encodes a whole program's stream (header + records).
+#[must_use]
+pub fn encode_program(program: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + program.instrs.len() * RECORD_BYTES);
+    out.put_slice(&MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u16_le(RECORD_BYTES as u16);
+    out.put_u32_le(program.instrs.len() as u32);
+    out.put_u32_le(0);
+    for i in &program.instrs {
+        out.extend_from_slice(&encode_instr(i));
+    }
+    out
+}
+
+/// Decodes an `instruction.bin` byte stream into instructions.
+///
+/// # Errors
+///
+/// Bad magic, unsupported version, record-size mismatch, truncation, or
+/// unknown opcodes.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Instr>, IsaError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(IsaError::TruncatedRecord { len: bytes.len(), expected: HEADER_BYTES });
+    }
+    let mut r: &[u8] = bytes;
+    let mut magic = [0u8; 4];
+    r.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(IsaError::BadMagic(magic));
+    }
+    let version = r.get_u16_le();
+    if version != VERSION {
+        return Err(IsaError::UnsupportedVersion(version));
+    }
+    let rec = usize::from(r.get_u16_le());
+    if rec != RECORD_BYTES {
+        return Err(IsaError::Invalid(format!(
+            "record size {rec} does not match expected {RECORD_BYTES}"
+        )));
+    }
+    let count = r.get_u32_le() as usize;
+    let _reserved = r.get_u32_le();
+    let body = &bytes[HEADER_BYTES..];
+    if body.len() != count * RECORD_BYTES {
+        return Err(IsaError::TruncatedRecord {
+            len: body.len(),
+            expected: count * RECORD_BYTES,
+        });
+    }
+    let mut instrs = Vec::with_capacity(count);
+    for chunk in body.chunks_exact(RECORD_BYTES) {
+        instrs.push(decode_instr(chunk)?);
+    }
+    Ok(instrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instr {
+        Instr {
+            op: Opcode::VirSave,
+            layer: 42,
+            blob: 9001,
+            tile: Tile::new(16, 8, 32, 16, 48, 16),
+            ddr: DdrRange::new(0xde_adbe_ef00, 65536),
+            save_id: 17,
+        }
+    }
+
+    #[test]
+    fn instr_round_trip() {
+        let i = sample();
+        assert_eq!(decode_instr(&encode_instr(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        for op in Opcode::ALL {
+            let mut i = sample();
+            i.op = op;
+            assert_eq!(decode_instr(&encode_instr(&i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn truncated_record_is_rejected() {
+        let i = sample();
+        let enc = encode_instr(&i);
+        assert!(matches!(
+            decode_instr(&enc[..RECORD_BYTES - 1]),
+            Err(IsaError::TruncatedRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_rejects_bad_magic_and_version() {
+        let mut bytes = vec![0u8; HEADER_BYTES];
+        bytes[..4].copy_from_slice(b"NOPE");
+        assert!(matches!(decode_stream(&bytes), Err(IsaError::BadMagic(_))));
+
+        let mut bytes = vec![0u8; HEADER_BYTES];
+        bytes[..4].copy_from_slice(&MAGIC);
+        bytes[4] = 99;
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(IsaError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn stream_rejects_count_mismatch() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(RECORD_BYTES as u16).to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // claims 2 records
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&encode_instr(&sample())); // provides 1
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(IsaError::TruncatedRecord { .. })
+        ));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for the ISA crate.
+
+/// Errors produced while constructing, encoding or decoding instructions and
+/// programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A task-slot index outside `0..TASK_SLOTS`.
+    InvalidSlot(u8),
+    /// An unknown opcode byte was found while decoding.
+    UnknownOpcode(u8),
+    /// The byte buffer is not a whole number of instruction records, or is
+    /// shorter than one record.
+    TruncatedRecord {
+        /// Bytes available.
+        len: usize,
+        /// Bytes expected for a whole record (multiple of the record size).
+        expected: usize,
+    },
+    /// The `instruction.bin` header magic did not match.
+    BadMagic([u8; 4]),
+    /// The `instruction.bin` format version is unsupported.
+    UnsupportedVersion(u16),
+    /// An instruction referenced a layer id that the program does not define.
+    DanglingLayer {
+        /// Program counter of the offending instruction.
+        pc: usize,
+        /// The missing layer id.
+        layer: u16,
+    },
+    /// Validation failed with a human-readable reason.
+    Invalid(String),
+}
+
+impl std::fmt::Display for IsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsaError::InvalidSlot(i) => write!(f, "task slot {i} out of range 0..4"),
+            IsaError::UnknownOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            IsaError::TruncatedRecord { len, expected } => {
+                write!(f, "truncated instruction record: {len} bytes, expected {expected}")
+            }
+            IsaError::BadMagic(m) => write!(f, "bad instruction.bin magic {m:?}"),
+            IsaError::UnsupportedVersion(v) => {
+                write!(f, "unsupported instruction.bin version {v}")
+            }
+            IsaError::DanglingLayer { pc, layer } => {
+                write!(f, "instruction at pc {pc} references undefined layer {layer}")
+            }
+            IsaError::Invalid(reason) => write!(f, "invalid program: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

@@ -1,0 +1,62 @@
+//! # inca-model — CNN graph IR and model zoo
+//!
+//! The model crate plays the role of the Caffe `*.prototxt`/`*.caffemodel`
+//! front-end in the paper's toolchain (Fig. 1c): it describes the network
+//! *topology* that the INCA compiler lowers to the VI-ISA.
+//!
+//! * [`Network`] / [`NetworkBuilder`] — a DAG of [`Op`] nodes with eager
+//!   shape inference and validation;
+//! * [`zoo`] — constructors for the networks the paper evaluates:
+//!   SuperPoint's VGG-style encoder (feature-point extraction, FE), the
+//!   GeM/ResNet101 place-recognition model (PR), plus VGG16, ResNet-18/50,
+//!   and MobileNetV1 used in the latency-across-networks experiment
+//!   (Fig. "barresult(b)").
+//!
+//! ## Example
+//!
+//! ```
+//! use inca_model::{zoo, Shape3};
+//!
+//! let net = zoo::resnet101(Shape3::new(3, 480, 640))?;
+//! assert_eq!(net.conv_layer_count(), 104); // 100 backbone convs + 4 projections
+//! assert!(net.total_macs() > 10_000_000_000); // tens of GMACs at 480x640
+//! # Ok::<(), inca_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod network;
+mod op;
+
+pub mod zoo;
+
+pub use builder::NetworkBuilder;
+pub use network::{Network, NetworkStats, Node, NodeId};
+pub use op::{Op, PoolOp};
+
+pub use inca_isa::{PoolKind, Shape3};
+
+/// Errors produced while building or validating a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An op input references a node id that does not exist (yet).
+    UnknownNode(usize),
+    /// The op's input shapes are incompatible (message explains why).
+    ShapeMismatch(String),
+    /// A structural rule was violated (message explains which).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            ModelError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            ModelError::Invalid(m) => write!(f, "invalid network: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,414 @@
+//! The model zoo: every network the paper evaluates.
+//!
+//! * [`superpoint`] — the FE (feature-point extraction) task's VGG-style
+//!   backbone with detector + descriptor heads (SuperPoint);
+//! * [`gem_resnet101`] — the PR (place recognition) task: ResNet101
+//!   backbone + GeM pooling + whitening FC (GeM);
+//! * [`resnet101`], [`resnet50`], [`resnet18`], [`vgg16`],
+//!   [`mobilenet_v1`] — the networks of the latency-across-networks
+//!   experiment (Fig. "barresult(b)") and general test fodder.
+//!
+//! All constructors take the input shape so the paper's 480×640 camera
+//! resolution and smaller test resolutions share one code path.
+
+use crate::{ModelError, Network, NetworkBuilder, NodeId, Shape3};
+
+/// VGG16 feature extractor; when `with_classifier` is set the three FC
+/// layers (4096/4096/1000) are appended (sensible only for 224×224 input).
+///
+/// # Errors
+///
+/// Returns an error when the input is too small for the layer stack.
+pub fn vgg16(input: Shape3, with_classifier: bool) -> Result<Network, ModelError> {
+    let mut b = NetworkBuilder::new("vgg16", input);
+    let mut x = b.input_id();
+    let stages: [(usize, u32); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    for (si, (reps, ch)) in stages.into_iter().enumerate() {
+        for r in 0..reps {
+            x = b.conv(&format!("conv{}_{}", si + 1, r + 1), x, ch, 3, 1, 1, true)?;
+        }
+        x = b.max_pool(&format!("pool{}", si + 1), x, 2, 2, 0)?;
+    }
+    if with_classifier {
+        x = b.fully_connected("fc6", x, 4096, true)?;
+        x = b.fully_connected("fc7", x, 4096, true)?;
+        x = b.fully_connected("fc8", x, 1000, false)?;
+    }
+    b.finish(vec![x])
+}
+
+/// SuperPoint: shared VGG-style encoder at 1/8 resolution plus the
+/// 65-channel detector head and 256-channel descriptor head.
+/// Outputs: `[detector (65×H/8×W/8), descriptor (256×H/8×W/8)]`.
+///
+/// # Errors
+///
+/// Returns an error when the input is too small for three 2×2 poolings.
+pub fn superpoint(input: Shape3) -> Result<Network, ModelError> {
+    let mut b = NetworkBuilder::new("superpoint", input);
+    let mut x = b.input_id();
+    let enc: [(u32, &str); 4] = [(64, "1"), (64, "2"), (128, "3"), (128, "4")];
+    for (i, (ch, tag)) in enc.into_iter().enumerate() {
+        x = b.conv(&format!("conv{tag}a"), x, ch, 3, 1, 1, true)?;
+        x = b.conv(&format!("conv{tag}b"), x, ch, 3, 1, 1, true)?;
+        if i < 3 {
+            x = b.max_pool(&format!("pool{tag}"), x, 2, 2, 0)?;
+        }
+    }
+    let pa = b.conv("convPa", x, 256, 3, 1, 1, true)?;
+    let detector = b.conv("convPb", pa, 65, 1, 1, 0, false)?;
+    let da = b.conv("convDa", x, 256, 3, 1, 1, true)?;
+    let descriptor = b.conv("convDb", da, 256, 1, 1, 0, false)?;
+    b.finish(vec![detector, descriptor])
+}
+
+fn resnet_stem(b: &mut NetworkBuilder) -> Result<NodeId, ModelError> {
+    let x = b.input_id();
+    let c = b.conv("conv1", x, 64, 7, 2, 3, true)?;
+    b.max_pool("pool1", c, 3, 2, 1)
+}
+
+fn bottleneck(
+    b: &mut NetworkBuilder,
+    name: &str,
+    x: NodeId,
+    width: u32,
+    stride: u8,
+    project: bool,
+) -> Result<NodeId, ModelError> {
+    let out_ch = width * 4;
+    let shortcut = if project {
+        b.conv(&format!("{name}_proj"), x, out_ch, 1, stride, 0, false)?
+    } else {
+        x
+    };
+    let c1 = b.conv(&format!("{name}_2a"), x, width, 1, 1, 0, true)?;
+    let c2 = b.conv(&format!("{name}_2b"), c1, width, 3, stride, 1, true)?;
+    let c3 = b.conv(&format!("{name}_2c"), c2, out_ch, 1, 1, 0, false)?;
+    b.add(&format!("{name}_add"), shortcut, c3, true)
+}
+
+fn basic_block(
+    b: &mut NetworkBuilder,
+    name: &str,
+    x: NodeId,
+    width: u32,
+    stride: u8,
+    project: bool,
+) -> Result<NodeId, ModelError> {
+    let shortcut = if project {
+        b.conv(&format!("{name}_proj"), x, width, 1, stride, 0, false)?
+    } else {
+        x
+    };
+    let c1 = b.conv(&format!("{name}_2a"), x, width, 3, stride, 1, true)?;
+    let c2 = b.conv(&format!("{name}_2b"), c1, width, 3, 1, 1, false)?;
+    b.add(&format!("{name}_add"), shortcut, c2, true)
+}
+
+fn resnet_backbone(
+    name: &str,
+    input: Shape3,
+    blocks: [usize; 4],
+    bottlenecked: bool,
+) -> Result<Network, ModelError> {
+    let mut b = NetworkBuilder::new(name, input);
+    let mut x = resnet_stem(&mut b)?;
+    let widths = [64u32, 128, 256, 512];
+    for (stage, (&reps, &width)) in blocks.iter().zip(widths.iter()).enumerate() {
+        for rep in 0..reps {
+            let stride = if stage > 0 && rep == 0 { 2 } else { 1 };
+            let project = rep == 0;
+            let block_name = format!("res{}b{}", stage + 2, rep);
+            x = if bottlenecked {
+                bottleneck(&mut b, &block_name, x, width, stride, project)?
+            } else {
+                // Basic blocks don't need a projection in stage 1 (64 in,
+                // 64 out, stride 1).
+                basic_block(&mut b, &block_name, x, width, stride, project && stage > 0)?
+            };
+        }
+    }
+    b.finish(vec![x])
+}
+
+/// ResNet-101 backbone (bottleneck blocks `[3, 4, 23, 3]`), the CNN of the
+/// paper's PR task.
+///
+/// # Errors
+///
+/// Returns an error when the input is too small for the downsampling stack.
+pub fn resnet101(input: Shape3) -> Result<Network, ModelError> {
+    resnet_backbone("resnet101", input, [3, 4, 23, 3], true)
+}
+
+/// ResNet-50 backbone (bottleneck blocks `[3, 4, 6, 3]`).
+///
+/// # Errors
+///
+/// Returns an error when the input is too small for the downsampling stack.
+pub fn resnet50(input: Shape3) -> Result<Network, ModelError> {
+    resnet_backbone("resnet50", input, [3, 4, 6, 3], true)
+}
+
+/// ResNet-18 backbone (basic blocks `[2, 2, 2, 2]`).
+///
+/// # Errors
+///
+/// Returns an error when the input is too small for the downsampling stack.
+pub fn resnet18(input: Shape3) -> Result<Network, ModelError> {
+    resnet_backbone("resnet18", input, [2, 2, 2, 2], false)
+}
+
+/// GeM place-recognition model: ResNet-101 backbone, GeM pooling (p = 3)
+/// and a 2048-d whitening FC, as used for the paper's PR module.
+///
+/// # Errors
+///
+/// Returns an error when the input is too small for the downsampling stack.
+pub fn gem_resnet101(input: Shape3) -> Result<Network, ModelError> {
+    let mut b = NetworkBuilder::new("gem_resnet101", input);
+    let mut x = resnet_stem(&mut b)?;
+    let widths = [64u32, 128, 256, 512];
+    for (stage, (&reps, &width)) in [3usize, 4, 23, 3].iter().zip(widths.iter()).enumerate() {
+        for rep in 0..reps {
+            let stride = if stage > 0 && rep == 0 { 2 } else { 1 };
+            x = bottleneck(&mut b, &format!("res{}b{}", stage + 2, rep), x, width, stride, rep == 0)?;
+        }
+    }
+    let g = b.gem_pool("gem", x, 3)?;
+    let w = b.fully_connected("whiten", g, 2048, false)?;
+    b.finish(vec![w])
+}
+
+/// MobileNetV1 (width multiplier 1.0): the "lightweight network" of
+/// Fig. "barresult(b)". Ends with a global average pool (GeM with p = 1)
+/// and a 1000-way FC.
+///
+/// # Errors
+///
+/// Returns an error when the input is too small for the downsampling stack.
+pub fn mobilenet_v1(input: Shape3) -> Result<Network, ModelError> {
+    let mut b = NetworkBuilder::new("mobilenet_v1", input);
+    let x = b.input_id();
+    let mut x = b.conv("conv1", x, 32, 3, 2, 1, true)?;
+    // (pointwise-out-channels, dw-stride)
+    let cfg: [(u32, u8); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, (pw, stride)) in cfg.into_iter().enumerate() {
+        x = b.dw_conv(&format!("conv{}_dw", i + 2), x, 3, stride, 1, true)?;
+        x = b.conv(&format!("conv{}_pw", i + 2), x, pw, 1, 1, 0, true)?;
+    }
+    let g = b.gem_pool("global_avg", x, 1)?;
+    let fc = b.fully_connected("fc", g, 1000, false)?;
+    b.finish(vec![fc])
+}
+
+fn fire(
+    b: &mut NetworkBuilder,
+    name: &str,
+    x: NodeId,
+    squeeze: u32,
+    expand: u32,
+) -> Result<NodeId, ModelError> {
+    let s = b.conv(&format!("{name}_squeeze1x1"), x, squeeze, 1, 1, 0, true)?;
+    let e1 = b.conv(&format!("{name}_expand1x1"), s, expand, 1, 1, 0, true)?;
+    let e3 = b.conv(&format!("{name}_expand3x3"), s, expand, 3, 1, 1, true)?;
+    b.concat(&format!("{name}_concat"), e1, e3)
+}
+
+/// SqueezeNet v1.1: fire modules (squeeze 1×1 + parallel 1×1/3×3 expands
+/// concatenated along channels) — exercises the `Concat` lowering path.
+///
+/// # Errors
+///
+/// Returns an error when the input is too small for the downsampling stack.
+pub fn squeezenet(input: Shape3) -> Result<Network, ModelError> {
+    let mut b = NetworkBuilder::new("squeezenet", input);
+    let x = b.input_id();
+    let mut x = b.conv("conv1", x, 64, 3, 2, 1, true)?;
+    x = b.max_pool("pool1", x, 3, 2, 1)?;
+    x = fire(&mut b, "fire2", x, 16, 64)?;
+    x = fire(&mut b, "fire3", x, 16, 64)?;
+    x = b.max_pool("pool3", x, 3, 2, 1)?;
+    x = fire(&mut b, "fire4", x, 32, 128)?;
+    x = fire(&mut b, "fire5", x, 32, 128)?;
+    x = b.max_pool("pool5", x, 3, 2, 1)?;
+    x = fire(&mut b, "fire6", x, 48, 192)?;
+    x = fire(&mut b, "fire7", x, 48, 192)?;
+    x = fire(&mut b, "fire8", x, 64, 256)?;
+    x = fire(&mut b, "fire9", x, 64, 256)?;
+    let conv10 = b.conv("conv10", x, 1000, 1, 1, 0, true)?;
+    let pool = b.gem_pool("global_avg", conv10, 1)?;
+    b.finish(vec![pool])
+}
+
+/// A deliberately tiny 3-conv network used by functional-correctness tests
+/// and the quickstart example (small enough to simulate bit-exactly in
+/// milliseconds).
+///
+/// # Errors
+///
+/// Returns an error when the input is smaller than 4×4.
+pub fn tiny(input: Shape3) -> Result<Network, ModelError> {
+    let mut b = NetworkBuilder::new("tiny", input);
+    let x = b.input_id();
+    let c1 = b.conv("c1", x, 8, 3, 1, 1, true)?;
+    let p1 = b.max_pool("p1", c1, 2, 2, 0)?;
+    let c2 = b.conv("c2", p1, 16, 3, 1, 1, true)?;
+    let c3 = b.conv("c3", c2, 16, 3, 1, 1, false)?;
+    let a = b.add("skip", c2, c3, true)?;
+    b.finish(vec![a])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAM: Shape3 = Shape3 { c: 3, h: 480, w: 640 };
+
+    #[test]
+    fn resnet101_structure() {
+        let n = resnet101(CAM).unwrap();
+        // 1 stem + 33 blocks * 3 convs + 4 projections = 104 weighted convs.
+        assert_eq!(n.conv_layer_count(), 104);
+        // Final feature map is 2048 x H/32 x W/32.
+        let out = n.node(*n.outputs.first().unwrap()).out_shape;
+        assert_eq!(out, Shape3::new(2048, 15, 20));
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn resnet50_and_18_structure() {
+        let n = resnet50(CAM).unwrap();
+        assert_eq!(n.conv_layer_count(), 1 + 16 * 3 + 4);
+        let n = resnet18(CAM).unwrap();
+        assert_eq!(n.conv_layer_count(), 1 + 8 * 2 + 3);
+        assert_eq!(
+            n.node(*n.outputs.first().unwrap()).out_shape,
+            Shape3::new(512, 15, 20)
+        );
+    }
+
+    #[test]
+    fn vgg16_structure() {
+        let n = vgg16(CAM, false).unwrap();
+        assert_eq!(n.conv_layer_count(), 13);
+        assert_eq!(
+            n.node(*n.outputs.first().unwrap()).out_shape,
+            Shape3::new(512, 15, 20)
+        );
+        let n = vgg16(Shape3::new(3, 224, 224), true).unwrap();
+        assert_eq!(n.conv_layer_count(), 16);
+        assert_eq!(
+            n.node(*n.outputs.first().unwrap()).out_shape,
+            Shape3::new(1000, 1, 1)
+        );
+    }
+
+    #[test]
+    fn superpoint_structure() {
+        let n = superpoint(Shape3::new(1, 480, 640)).unwrap();
+        assert_eq!(n.outputs.len(), 2);
+        let det = n.node(n.outputs[0]).out_shape;
+        let desc = n.node(n.outputs[1]).out_shape;
+        assert_eq!(det, Shape3::new(65, 60, 80));
+        assert_eq!(desc, Shape3::new(256, 60, 80));
+        // SuperPoint inference is ~39 GOPs (~19.5 GMACs) per the paper;
+        // our graph should land in that ballpark (shared encoder + heads).
+        let gmacs = n.total_macs() as f64 / 1e9;
+        assert!((5.0..40.0).contains(&gmacs), "superpoint GMACs = {gmacs}");
+    }
+
+    #[test]
+    fn gem_is_resnet101_plus_head() {
+        let n = gem_resnet101(CAM).unwrap();
+        assert_eq!(n.conv_layer_count(), 104 + 1);
+        let out = n.node(*n.outputs.first().unwrap()).out_shape;
+        assert_eq!(out, Shape3::new(2048, 1, 1));
+        // GeM inference is ~192 GOPs (~96 GMACs) per the paper at full
+        // resolution; at 480x640 we should be within the same magnitude.
+        let gmacs = n.total_macs() as f64 / 1e9;
+        assert!((20.0..120.0).contains(&gmacs), "gem GMACs = {gmacs}");
+    }
+
+    #[test]
+    fn mobilenet_structure() {
+        let n = mobilenet_v1(Shape3::new(3, 224, 224)).unwrap();
+        // 1 stem + 13 pointwise + 1 fc weighted convs + 13 dwconvs.
+        assert_eq!(n.conv_layer_count(), 28);
+        assert_eq!(
+            n.node(*n.outputs.first().unwrap()).out_shape,
+            Shape3::new(1000, 1, 1)
+        );
+        let gmacs = n.total_macs() as f64 / 1e9;
+        assert!((0.3..1.2).contains(&gmacs), "mobilenet GMACs = {gmacs}");
+    }
+
+    #[test]
+    fn squeezenet_structure() {
+        let n = squeezenet(Shape3::new(3, 224, 224)).unwrap();
+        // 1 stem + 8 fires x 3 convs + conv10 weighted layers.
+        assert_eq!(n.conv_layer_count(), 1 + 8 * 3 + 1);
+        // Fire concats double the expand width.
+        let f9 = n
+            .nodes
+            .iter()
+            .find(|x| x.name == "fire9_concat")
+            .unwrap();
+        assert_eq!(f9.out_shape.c, 512);
+        assert_eq!(
+            n.node(*n.outputs.first().unwrap()).out_shape,
+            Shape3::new(1000, 1, 1)
+        );
+        let gmacs = n.total_macs() as f64 / 1e9;
+        assert!((0.2..1.5).contains(&gmacs), "squeezenet GMACs = {gmacs}");
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_spatial() {
+        let mut b = NetworkBuilder::new("t", Shape3::new(3, 16, 16));
+        let x = b.input_id();
+        let a = b.conv("a", x, 4, 3, 1, 1, false).unwrap();
+        let c = b.max_pool("p", a, 2, 2, 0).unwrap();
+        assert!(b.concat("bad", a, c).is_err());
+    }
+
+    #[test]
+    fn tiny_is_tiny() {
+        let n = tiny(Shape3::new(3, 16, 16)).unwrap();
+        assert!(n.total_macs() < 3_000_000);
+        assert_eq!(n.layer_count(), 5);
+    }
+
+    #[test]
+    fn all_zoo_networks_validate() {
+        for net in [
+            vgg16(CAM, false).unwrap(),
+            superpoint(Shape3::new(1, 480, 640)).unwrap(),
+            resnet18(CAM).unwrap(),
+            resnet50(CAM).unwrap(),
+            resnet101(CAM).unwrap(),
+            gem_resnet101(CAM).unwrap(),
+            mobilenet_v1(CAM).unwrap(),
+            squeezenet(CAM).unwrap(),
+            tiny(Shape3::new(3, 16, 16)).unwrap(),
+        ] {
+            net.validate().unwrap();
+            assert!(net.total_macs() > 0);
+        }
+    }
+}

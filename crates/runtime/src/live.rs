@@ -1,0 +1,98 @@
+//! A thread-based pub/sub bus with the same topic contract as the
+//! discrete-event runtime, for demonstrations with real OS threads —
+//! the shape a ROS deployment would take: independent nodes publishing
+//! and subscribing without knowing about each other, while the accelerator
+//! driver serialises access behind the bus.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+type Subscribers<M> = HashMap<String, Vec<Sender<(String, M)>>>;
+
+/// A shared topic bus. Cloning is cheap (it's an `Arc` inside).
+///
+/// ```
+/// use inca_runtime::live::LiveBus;
+///
+/// let bus: LiveBus<String> = LiveBus::new();
+/// let rx = bus.subscribe("chatter");
+/// bus.publish("chatter", "hello".to_owned());
+/// let (topic, msg) = rx.recv()?;
+/// assert_eq!((topic.as_str(), msg.as_str()), ("chatter", "hello"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LiveBus<M> {
+    inner: Arc<Mutex<Subscribers<M>>>,
+}
+
+impl<M: Clone + Send + 'static> LiveBus<M> {
+    /// Creates an empty bus.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { inner: Arc::new(Mutex::new(HashMap::new())) }
+    }
+
+    /// Subscribes to `topic`, returning the receiving end of an unbounded
+    /// channel of `(topic, message)` pairs.
+    pub fn subscribe(&self, topic: impl Into<String>) -> Receiver<(String, M)> {
+        let (tx, rx) = unbounded();
+        self.inner.lock().entry(topic.into()).or_default().push(tx);
+        rx
+    }
+
+    /// Publishes `msg` to all current subscribers of `topic`. Returns the
+    /// number of subscribers reached. Disconnected subscribers are pruned.
+    pub fn publish(&self, topic: &str, msg: M) -> usize {
+        let mut map = self.inner.lock();
+        let Some(subs) = map.get_mut(topic) else {
+            return 0;
+        };
+        subs.retain(|tx| tx.send((topic.to_owned(), msg.clone())).is_ok());
+        subs.len()
+    }
+
+    /// Number of subscribers currently registered on `topic`.
+    #[must_use]
+    pub fn subscriber_count(&self, topic: &str) -> usize {
+        self.inner.lock().get(topic).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fan_out_to_multiple_threads() {
+        let bus: LiveBus<u32> = LiveBus::new();
+        let rx1 = bus.subscribe("t");
+        let rx2 = bus.subscribe("t");
+        let h1 = thread::spawn(move || rx1.iter().take(3).map(|(_, v)| v).sum::<u32>());
+        let h2 = thread::spawn(move || rx2.iter().take(3).map(|(_, v)| v).sum::<u32>());
+        for v in [1, 2, 3] {
+            assert_eq!(bus.publish("t", v), 2);
+        }
+        assert_eq!(h1.join().unwrap(), 6);
+        assert_eq!(h2.join().unwrap(), 6);
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_zero() {
+        let bus: LiveBus<u32> = LiveBus::new();
+        assert_eq!(bus.publish("nobody", 9), 0);
+        assert_eq!(bus.subscriber_count("nobody"), 0);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let bus: LiveBus<u32> = LiveBus::new();
+        let rx = bus.subscribe("t");
+        drop(rx);
+        assert_eq!(bus.publish("t", 1), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Compiler explorer: inspect what the INCA compiler produces for a zoo
+//! network — per-layer statistics, instruction histogram, VI overhead and
+//! an assembly listing excerpt, plus the `instruction.bin` round trip.
+//!
+//! ```sh
+//! cargo run --example compiler_explorer -- mobilenet
+//! cargo run --example compiler_explorer -- resnet18 --listing
+//! ```
+
+use inca::accel::ArchSpec;
+use inca::compiler::Compiler;
+use inca::isa::{Opcode, Program};
+use inca::model::{zoo, Network, Shape3};
+
+fn pick_network(name: &str) -> Result<Network, Box<dyn std::error::Error>> {
+    let cam = Shape3::new(3, 240, 320);
+    Ok(match name {
+        "tiny" => zoo::tiny(Shape3::new(3, 32, 32))?,
+        "vgg16" => zoo::vgg16(cam, false)?,
+        "superpoint" => zoo::superpoint(Shape3::new(1, 240, 320))?,
+        "resnet18" => zoo::resnet18(cam)?,
+        "resnet50" => zoo::resnet50(cam)?,
+        "resnet101" => zoo::resnet101(cam)?,
+        "gem" => zoo::gem_resnet101(cam)?,
+        "mobilenet" => zoo::mobilenet_v1(cam)?,
+        "squeezenet" => zoo::squeezenet(cam)?,
+        other => return Err(format!("unknown network `{other}`").into()),
+    })
+}
+
+fn histogram(program: &Program) -> Vec<(Opcode, usize)> {
+    Opcode::ALL
+        .into_iter()
+        .map(|op| (op, program.instrs.iter().filter(|i| i.op == op).count()))
+        .filter(|(_, n)| *n > 0)
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map_or("mobilenet", String::as_str);
+    let listing = args.iter().any(|a| a == "--listing");
+
+    let net = pick_network(name)?;
+    println!("{}", net.summary());
+    let stats = net.stats();
+    println!(
+        "totals: {:.2} GMACs, {:.2} MB weights, {:.2} MB activations\n",
+        stats.macs as f64 / 1e9,
+        stats.param_bytes as f64 / 1e6,
+        stats.activation_bytes as f64 / 1e6
+    );
+
+    for arch in [ArchSpec::angel_eye_big(), ArchSpec::angel_eye_small()] {
+        let compiler = Compiler::new(arch);
+        let original = compiler.compile(&net)?;
+        let vi = compiler.compile_vi(&net)?;
+        let (so, sv) = (original.stats(), vi.stats());
+        println!("arch {} ({} PEs):", arch.parallelism, arch.parallelism.pe_count());
+        println!(
+            "  original ISA : {:>8} instrs, {:>6} blobs, {:>7.2} MB DDR traffic",
+            so.instrs,
+            so.blobs,
+            so.ddr_bytes as f64 / 1e6
+        );
+        println!(
+            "  VI-ISA       : {:>8} instrs (+{} virtual), {} interrupt points",
+            sv.instrs, sv.virtual_instrs, sv.interrupt_points
+        );
+        let bin = vi.to_bin();
+        println!("  instruction.bin: {} bytes", bin.len());
+        let decoded = Program::from_bin(vi.name.clone(), &bin, vi.layers.clone(), vi.memory.clone())?;
+        assert_eq!(decoded.instrs, vi.instrs, "binary round trip");
+        print!("  histogram    :");
+        for (op, n) in histogram(&vi) {
+            print!(" {}={n}", op.mnemonic());
+        }
+        println!("\n");
+    }
+
+    if listing {
+        let compiler = Compiler::new(ArchSpec::angel_eye_big());
+        let vi = compiler.compile_vi(&net)?;
+        println!("---- first 80 lines of the VI-ISA listing ----");
+        for line in vi.listing().lines().take(80) {
+            println!("{line}");
+        }
+    }
+    Ok(())
+}

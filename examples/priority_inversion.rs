@@ -1,0 +1,82 @@
+//! The paper's motivating problem: on a *native* (non-interruptible)
+//! accelerator, the latency-critical FE task must wait for a whole
+//! low-priority PR inference — missing hard deadlines. INCA's VI method
+//! removes the inversion.
+//!
+//! This example runs the same 20 fps FE + continuous PR workload under all
+//! four strategies and prints deadline statistics.
+//!
+//! ```sh
+//! cargo run --release --example priority_inversion
+//! ```
+
+use inca::accel::{AccelConfig, Engine, InterruptStrategy, TimingBackend};
+use inca::compiler::Compiler;
+use inca::isa::TaskSlot;
+use inca::model::{zoo, Shape3};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = AccelConfig::paper_big();
+    let compiler = Compiler::new(cfg.arch);
+
+    // Reduced-resolution backbones keep this demo quick while preserving
+    // the FE-vs-PR duty-cycle relationship.
+    let fe = compiler.compile_vi(&zoo::superpoint(Shape3::new(1, 240, 320))?)?;
+    let pr = compiler.compile_vi(&zoo::gem_resnet101(Shape3::new(3, 240, 320))?)?;
+    let fe_orig = compiler.compile(&zoo::superpoint(Shape3::new(1, 240, 320))?)?;
+    let pr_orig = compiler.compile(&zoo::gem_resnet101(Shape3::new(3, 240, 320))?)?;
+
+    let period = cfg.us_to_cycles(50_000.0); // 20 fps
+    let frames = 40u64;
+    let (hi, lo) = (TaskSlot::new(1)?, TaskSlot::new(3)?);
+
+    println!(
+        "{:<18} {:>10} {:>14} {:>14} {:>12}",
+        "strategy", "FE misses", "FE worst (ms)", "FE mean (ms)", "PR done"
+    );
+    for strategy in [
+        InterruptStrategy::NonPreemptive,
+        InterruptStrategy::CpuLike,
+        InterruptStrategy::LayerByLayer,
+        InterruptStrategy::VirtualInstruction,
+    ] {
+        // Layer-by-layer and CPU-like run the original ISA; VI runs the
+        // VI-ISA (virtual instructions are free when not taken).
+        let vi = matches!(strategy, InterruptStrategy::VirtualInstruction);
+        let mut engine = Engine::new(cfg, strategy, TimingBackend::new());
+        engine.load(hi, if vi { fe.clone() } else { fe_orig.clone() })?;
+        engine.load(lo, if vi { pr.clone() } else { pr_orig.clone() })?;
+        engine.set_auto_resubmit(lo, true);
+        engine.request_at(0, lo)?;
+        for f in 0..frames {
+            engine.request_at(f * period, hi)?;
+        }
+        engine.run_until(frames * period + period)?;
+        let report = engine.report();
+
+        let fe_jobs: Vec<_> = report.jobs_of(hi).collect();
+        let misses = fe_jobs.iter().filter(|j| j.response() > period).count()
+            + (frames as usize - fe_jobs.len());
+        let worst = fe_jobs.iter().map(|j| j.response()).max().unwrap_or(0);
+        let mean = if fe_jobs.is_empty() {
+            0.0
+        } else {
+            fe_jobs.iter().map(|j| j.response()).sum::<u64>() as f64 / fe_jobs.len() as f64
+        };
+        let pr_done = report.jobs_of(lo).count();
+        println!(
+            "{:<18} {:>7}/{:<2} {:>14.2} {:>14.2} {:>12}",
+            strategy.to_string(),
+            misses,
+            frames,
+            cfg.cycles_to_ms(worst),
+            cfg.cycles_to_ms(mean as u64),
+            pr_done
+        );
+    }
+    println!(
+        "\nFE deadline = frame period (50 ms). The native accelerator inverts priorities;\n\
+         the VI method starts FE almost immediately while still finishing PR passes."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! # INCA — an INterruptible CNN Accelerator framework
+//!
+//! A full reproduction of *"INCA: INterruptible CNN Accelerator for
+//! Multi-tasking in Embedded Robots"* (DAC 2020) as a Rust workspace. The
+//! FPGA prototype is substituted by a cycle-calibrated simulator (see
+//! `DESIGN.md`); everything above the silicon — the VI-ISA, the compiler,
+//! the IAU, the scheduling behaviour, and the DSLAM application — is
+//! implemented for real.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`isa`] — the original ISA + virtual-instruction extension (VI-ISA),
+//!   binary encoding, program containers;
+//! * [`model`] — CNN graph IR and the model zoo (SuperPoint, GeM/ResNet101,
+//!   VGG16, ResNet-18/50, MobileNetV1);
+//! * [`compiler`] — tiling code generator and the VI insertion pass;
+//! * [`accel`] — the accelerator engine: timing simulation, bit-exact
+//!   functional simulation, the IAU, and four interrupt strategies;
+//! * [`runtime`] — ROS-like middleware with deadline accounting;
+//! * [`dslam`] — the two-agent distributed-SLAM evaluation application.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use inca::accel::{AccelConfig, Engine, InterruptStrategy, TimingBackend};
+//! use inca::compiler::Compiler;
+//! use inca::isa::TaskSlot;
+//! use inca::model::{zoo, Shape3};
+//!
+//! // Compile a CNN to the interruptible VI-ISA...
+//! let cfg = AccelConfig::paper_big();
+//! let program = Compiler::new(cfg.arch).compile_vi(&zoo::tiny(Shape3::new(3, 32, 32))?)?;
+//!
+//! // ...and run it with a preemption mid-flight.
+//! let mut engine = Engine::new(cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
+//! let (hi, lo) = (TaskSlot::new(1)?, TaskSlot::new(3)?);
+//! engine.load(hi, program.clone())?;
+//! engine.load(lo, program)?;
+//! engine.request_at(0, lo)?;
+//! engine.request_at(3_000, hi)?;
+//! let report = engine.run()?;
+//! let interrupt = &report.interrupts[0];
+//! println!(
+//!     "response latency {:.1} µs, extra cost {:.1} µs",
+//!     cfg.cycles_to_us(interrupt.latency()),
+//!     cfg.cycles_to_us(interrupt.cost()),
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use inca_accel as accel;
+pub use inca_compiler as compiler;
+pub use inca_dslam as dslam;
+pub use inca_isa as isa;
+pub use inca_model as model;
+pub use inca_runtime as runtime;

@@ -1,0 +1,190 @@
+//! Workspace-level end-to-end tests: model zoo → compiler → binary
+//! round-trip → engine → functional verification, crossing every crate
+//! through the public facade.
+
+use inca::accel::{
+    analysis, AccelConfig, DdrImage, Engine, FuncBackend, InterruptStrategy, TimingBackend,
+};
+use inca::compiler::Compiler;
+use inca::isa::{Program, TaskSlot};
+use inca::model::{zoo, Shape3};
+
+#[test]
+fn full_pipeline_binary_round_trip() {
+    let cfg = AccelConfig::paper_big();
+    let compiler = Compiler::new(cfg.arch);
+    let net = zoo::resnet18(Shape3::new(3, 64, 64)).unwrap();
+    let vi = compiler.compile_vi(&net).unwrap();
+
+    // instruction.bin round trip preserves the stream.
+    let bin = vi.to_bin();
+    let decoded =
+        Program::from_bin(vi.name.clone(), &bin, vi.layers.clone(), vi.memory.clone()).unwrap();
+    assert_eq!(decoded.instrs, vi.instrs);
+    // Interrupt-point structure is recoverable from the stream itself
+    // (empty points excluded — they carry no virtual instructions).
+    let nonempty = vi
+        .interrupt_points
+        .iter()
+        .filter(|p| !p.vir_range().is_empty())
+        .count();
+    assert_eq!(decoded.interrupt_points.len(), nonempty);
+}
+
+#[test]
+fn container_round_trips_compiled_zoo_programs() {
+    use inca::isa::container;
+    let cfg = AccelConfig::paper_big();
+    let compiler = Compiler::new(cfg.arch);
+    for net in [
+        zoo::tiny(Shape3::new(3, 32, 32)).unwrap(),
+        zoo::mobilenet_v1(Shape3::new(3, 64, 64)).unwrap(),
+        zoo::resnet18(Shape3::new(3, 64, 64)).unwrap(),
+    ] {
+        let vi = compiler.compile_vi(&net).unwrap();
+        let bytes = container::encode_container(&vi);
+        let back = container::decode_container(&bytes).unwrap();
+        assert_eq!(back.instrs, vi.instrs, "{}", net.name);
+        assert_eq!(back.layers, vi.layers, "{}", net.name);
+        assert_eq!(back.memory, vi.memory, "{}", net.name);
+        back.validate().unwrap();
+    }
+}
+
+#[test]
+fn decoded_binary_runs_identically() {
+    let cfg = AccelConfig::paper_small();
+    let compiler = Compiler::new(cfg.arch);
+    let net = zoo::tiny(Shape3::new(3, 32, 32)).unwrap();
+    let vi = compiler.compile_vi(&net).unwrap();
+    let decoded =
+        Program::from_bin(vi.name.clone(), &vi.to_bin(), vi.layers.clone(), vi.memory.clone())
+            .unwrap();
+
+    let run = |program: Program| {
+        let slot = TaskSlot::LOWEST;
+        let mut backend = FuncBackend::new();
+        backend.install_image(slot, DdrImage::for_program(&program, 99));
+        let mut engine = Engine::new(cfg, InterruptStrategy::VirtualInstruction, backend);
+        engine.load(slot, program.clone()).unwrap();
+        engine.request_at(0, slot).unwrap();
+        let report = engine.run().unwrap();
+        let out = engine
+            .backend()
+            .image(slot)
+            .unwrap()
+            .read_output(program.layers.last().unwrap());
+        (report.final_cycle, out)
+    };
+    assert_eq!(run(vi), run(decoded));
+}
+
+#[test]
+fn measured_vi_latency_respects_analytical_worst_case() {
+    // Invariant 6 of DESIGN.md: for requests landing inside a layer, the
+    // measured VI t1 never exceeds the closed-form worst case for that
+    // layer (one CalcBlob), plus the loads/saves the blob interleaves.
+    let cfg = AccelConfig::paper_big();
+    let compiler = Compiler::new(cfg.arch);
+    let net = zoo::mobilenet_v1(Shape3::new(3, 96, 96)).unwrap();
+    let vi = compiler.compile_vi(&net).unwrap();
+    let hi_prog = compiler.compile_vi(&zoo::tiny(Shape3::new(3, 16, 16)).unwrap()).unwrap();
+
+    // Solo makespan.
+    let span = {
+        let slot = TaskSlot::LOWEST;
+        let mut e = Engine::new(cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
+        e.load(slot, vi.clone()).unwrap();
+        e.request_at(0, slot).unwrap();
+        e.run().unwrap().completed_jobs[0].finish
+    };
+
+    for i in 0..10 {
+        let request = span * (2 * i + 1) / 20;
+        let (hi, lo) = (TaskSlot::new(1).unwrap(), TaskSlot::new(3).unwrap());
+        let mut e = Engine::new(cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
+        e.load(hi, hi_prog.clone()).unwrap();
+        e.load(lo, vi.clone()).unwrap();
+        e.request_at(0, lo).unwrap();
+        e.request_at(request, hi).unwrap();
+        let report = e.run().unwrap();
+        let ev = report.interrupts[0];
+        let meta = &vi.layers[usize::from(ev.layer)];
+        let bound = analysis::t1_vi_worst(&cfg, meta);
+        // Allow the blob's DMA interleaving (loads dominated by the data
+        // rows) on top of the pure-compute bound.
+        let slack = 4 * cfg.dma_cycles(u64::from(cfg.arch.data_buffer_bytes / 4));
+        assert!(
+            ev.t1 <= bound + slack,
+            "t1 {} exceeds worst case {} + slack {} in layer {} (`{}`)",
+            ev.t1,
+            bound,
+            slack,
+            ev.layer,
+            meta.name
+        );
+    }
+}
+
+#[test]
+fn strategies_agree_on_total_work() {
+    // The same pair of jobs completes under every strategy, with the same
+    // busy cycles (only scheduling overheads differ).
+    let cfg = AccelConfig::paper_big();
+    let compiler = Compiler::new(cfg.arch);
+    let lo_net = zoo::tiny(Shape3::new(3, 64, 64)).unwrap();
+    let hi_net = zoo::tiny(Shape3::new(3, 32, 32)).unwrap();
+    let lo_vi = compiler.compile_vi(&lo_net).unwrap();
+    let lo_orig = compiler.compile(&lo_net).unwrap();
+    let hi_vi = compiler.compile_vi(&hi_net).unwrap();
+    let hi_orig = compiler.compile(&hi_net).unwrap();
+
+    let mut busys = Vec::new();
+    for strategy in [
+        InterruptStrategy::NonPreemptive,
+        InterruptStrategy::CpuLike,
+        InterruptStrategy::LayerByLayer,
+        InterruptStrategy::VirtualInstruction,
+    ] {
+        let vi = matches!(strategy, InterruptStrategy::VirtualInstruction);
+        let (hi, lo) = (TaskSlot::new(1).unwrap(), TaskSlot::new(3).unwrap());
+        let mut e = Engine::new(cfg, strategy, TimingBackend::new());
+        e.load(hi, if vi { hi_vi.clone() } else { hi_orig.clone() }).unwrap();
+        e.load(lo, if vi { lo_vi.clone() } else { lo_orig.clone() }).unwrap();
+        e.request_at(0, lo).unwrap();
+        e.request_at(3_000, hi).unwrap();
+        let r = e.run().unwrap();
+        assert_eq!(r.completed_jobs.len(), 2, "{strategy}");
+        let lo_busy = r.jobs_of(lo).next().unwrap().busy_cycles;
+        busys.push(lo_busy);
+    }
+    // Non-preemptive / cpu-like / layer-by-layer run the identical
+    // original stream; VI adds nothing when interrupts don't take its
+    // virtual instructions (they did here, but busy excludes t2/t4).
+    assert_eq!(busys[0], busys[1]);
+    assert_eq!(busys[0], busys[2]);
+    assert_eq!(busys[0], busys[3], "VI busy cycles must match the original stream");
+}
+
+#[test]
+fn dslam_outperforms_non_preemptive_on_deadlines() {
+    use inca::dslam::mission::{Mission, MissionConfig};
+    let mut base = MissionConfig::small_test();
+    base.duration_s = 1.5;
+    // Make FE genuinely contend with PR: bigger FE than the small default.
+    base.fe_input = Shape3::new(1, 240, 320);
+    base.pr_input = Shape3::new(3, 240, 320);
+
+    let vi = Mission::new(base.clone()).unwrap().run().unwrap();
+    let mut non = base;
+    non.strategy = InterruptStrategy::NonPreemptive;
+    let non = Mission::new(non).unwrap().run().unwrap();
+
+    let vi_misses: usize = vi.agents.iter().map(|a| a.deadline_misses).sum();
+    let non_misses: usize = non.agents.iter().map(|a| a.deadline_misses).sum();
+    assert_eq!(vi_misses, 0, "VI strategy must meet all FE deadlines");
+    assert!(
+        non_misses > 0,
+        "non-preemptive accelerator should miss FE deadlines (got {non_misses})"
+    );
+}
