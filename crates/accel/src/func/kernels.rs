@@ -1,0 +1,301 @@
+//! Branch-free CALC kernels over staged operands, with a deterministic
+//! scoped worker pool.
+//!
+//! Every kernel here is bit-identical to [`super::reference`]: the staged
+//! frames materialise the reference kernel's bounds checks as padding that
+//! contributes the identity element, and `i32` accumulation is wrapping —
+//! integer addition is associative and commutative mod 2³², so neither the
+//! loop-order change nor the channel partitioning can alter a single bit
+//! (see DESIGN.md, "Functional backend fast path"). Overflow, which would
+//! distinguish wrapping `i32` from the reference's clamped `i64`, is ruled
+//! out for realistic layer shapes (`ics·k²·127² ≪ 2³¹`) and asserted
+//! against by the property tests.
+
+use inca_isa::{Instr, LayerKind, LayerMeta, PoolKind};
+
+use super::stage::{Geom, Stage};
+use super::{Buffers, SimError};
+
+/// Below this many MACs a tile runs inline: spawn/join overhead would
+/// exceed the work. Determinism is unaffected either way.
+const PAR_MIN_MACS: u64 = 1 << 18;
+
+/// Executes one CALC instruction's arithmetic into `stage.scratch`
+/// (blob-layout `i32`, wrapping accumulation).
+pub(super) fn calc_into(
+    bufs: &Buffers,
+    stage: &mut Stage,
+    instr: &Instr,
+    meta: &LayerMeta,
+    threads: usize,
+) -> Result<(), SimError> {
+    let t = instr.tile;
+    let layer = instr.layer;
+    let g = Geom::new(&t, meta);
+    stage.reset_scratch(g.chans * g.chan_stride());
+    if stage.scratch.is_empty() {
+        return Ok(());
+    }
+
+    match meta.kind {
+        LayerKind::Conv { .. } => {
+            let k2 = g.k * g.k;
+            stage.stage_conv_weights(bufs, layer, &t, k2)?;
+            stage.stage_rows(bufs, layer, t.ic_range(), &g, 0)?;
+            let macs = (g.chans * g.chan_stride() * g.ics * k2) as u64;
+            let Stage { rows, weights, scratch, .. } = stage;
+            let (rows, weights) = (rows.as_slice(), weights.as_slice());
+            run_channels(scratch, &g, threads, macs, |cr, acc| {
+                conv_channel(rows, &weights[cr * g.ics * k2..], acc, &g);
+            });
+        }
+        LayerKind::DwConv { .. } => {
+            let k2 = g.k * g.k;
+            stage.stage_dw_weights(bufs, layer, &t, k2)?;
+            stage.stage_rows(bufs, layer, t.chan_range(), &g, 0)?;
+            let macs = (g.chans * g.chan_stride() * k2) as u64;
+            let Stage { rows, weights, scratch, .. } = stage;
+            let (rows, weights) = (rows.as_slice(), weights.as_slice());
+            run_channels(scratch, &g, threads, macs, |cr, acc| {
+                dw_channel(&rows[cr * g.frame_stride()..], &weights[cr * k2..], acc, &g);
+            });
+        }
+        LayerKind::Pool { kind, .. } => {
+            let pad = match kind {
+                PoolKind::Max => i8::MIN,
+                PoolKind::Avg => 0,
+                PoolKind::Gem { .. } => unreachable!("GeM is GlobalPool"),
+            };
+            stage.stage_rows(bufs, layer, t.chan_range(), &g, pad)?;
+            stage.stage_col_valid(&g);
+            let macs = (g.chans * g.chan_stride() * g.k * g.k) as u64;
+            let Stage { rows, scratch, col_valid, .. } = stage;
+            let (rows, col_valid) = (rows.as_slice(), col_valid.as_slice());
+            run_channels(scratch, &g, threads, macs, |cr, acc| {
+                pool_channel(&rows[cr * g.frame_stride()..], acc, &g, kind, col_valid);
+            });
+        }
+        LayerKind::GlobalPool { kind } => {
+            global_pool(bufs, stage, layer, &t, meta, kind, &g)?;
+        }
+        LayerKind::Add => {
+            let c_in = meta.in_shape.c;
+            for (cr, acc) in stage.scratch.chunks_mut(g.chan_stride()).enumerate() {
+                let c = u32::from(t.c0) + cr as u32;
+                for rr in 0..g.out_rows {
+                    let r = u32::from(t.h0) + rr as u32;
+                    let a = bufs.data_at(layer, c, r)?;
+                    let b = bufs.data_at(layer, c + c_in, r)?;
+                    let out = &mut acc[rr * g.w_out..(rr + 1) * g.w_out];
+                    for ((o, &av), &bv) in out.iter_mut().zip(&a[..g.w_out]).zip(&b[..g.w_out]) {
+                        *o = i32::from(av) + i32::from(bv);
+                    }
+                }
+            }
+        }
+        LayerKind::FullyConnected => {
+            for (cr, acc) in stage.scratch.chunks_mut(g.chan_stride()).enumerate() {
+                let oc = u32::from(t.c0) + cr as u32;
+                let mut sum = 0i32;
+                for ic in t.ic_range() {
+                    let w = bufs.weights_at(layer, oc, ic)?;
+                    let row = bufs.data_at(layer, ic, 0)?;
+                    sum = sum.wrapping_add(i32::from(row[0]) * i32::from(w[0]));
+                }
+                acc[0] = sum;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Partitions the blob-layout scratch into disjoint per-channel ranges and
+/// runs `f(channel_index, channel_scratch)` over them, inline or on a
+/// scoped worker pool. Each output element is written by exactly one
+/// worker running a fixed sequential loop, so the result is bit-identical
+/// at every worker count.
+fn run_channels<F>(scratch: &mut [i32], g: &Geom, threads: usize, macs: u64, f: F)
+where
+    F: Fn(usize, &mut [i32]) + Sync,
+{
+    let stride = g.chan_stride();
+    let workers = if macs < PAR_MIN_MACS { 1 } else { threads.min(g.chans).max(1) };
+    if workers <= 1 || stride == 0 {
+        for (cr, acc) in scratch.chunks_mut(stride.max(1)).enumerate() {
+            f(cr, acc);
+        }
+        return;
+    }
+    crossbeam::thread::scope(|sc| {
+        let mut rest = scratch;
+        let mut c0 = 0usize;
+        let f = &f;
+        for wi in 0..workers {
+            // Balanced split: remaining channels over remaining workers.
+            let take = (g.chans - c0).div_ceil(workers - wi);
+            let (head, tail) = rest.split_at_mut(take * stride);
+            rest = tail;
+            sc.spawn(move |_| {
+                for (j, acc) in head.chunks_mut(stride).enumerate() {
+                    f(c0 + j, acc);
+                }
+            });
+            c0 += take;
+        }
+    })
+    .expect("calc worker panicked");
+}
+
+/// One kernel-row of widening MACs: `acc[x] += w · srow[x·s + kx]` for all
+/// output columns, over slices — branch-free and auto-vectorizable for the
+/// dominant `s == 1` case.
+#[inline]
+fn mac_row(acc: &mut [i32], srow: &[i8], wrow: &[i8], s: usize) {
+    let w_out = acc.len();
+    if s == 1 {
+        for (kx, &wv) in wrow.iter().enumerate() {
+            let wv = i32::from(wv);
+            for (a, &x) in acc.iter_mut().zip(&srow[kx..kx + w_out]) {
+                *a = a.wrapping_add(wv * i32::from(x));
+            }
+        }
+    } else {
+        for (kx, &wv) in wrow.iter().enumerate() {
+            let wv = i32::from(wv);
+            for (a, &x) in acc.iter_mut().zip(srow[kx..].iter().step_by(s)) {
+                *a = a.wrapping_add(wv * i32::from(x));
+            }
+        }
+    }
+}
+
+/// Convolution for one output channel over all staged input channels.
+fn conv_channel(rows: &[i8], wts: &[i8], acc: &mut [i32], g: &Geom) {
+    let k2 = g.k * g.k;
+    for rr in 0..g.out_rows {
+        let acc_row = &mut acc[rr * g.w_out..(rr + 1) * g.w_out];
+        for icr in 0..g.ics {
+            let w = &wts[icr * k2..(icr + 1) * k2];
+            let frame = &rows[icr * g.frame_stride()..];
+            for ky in 0..g.k {
+                let srow = &frame[(rr * g.s + ky) * g.stage_w..][..g.stage_w];
+                mac_row(acc_row, srow, &w[ky * g.k..(ky + 1) * g.k], g.s);
+            }
+        }
+    }
+}
+
+/// Depthwise convolution for one channel (its own row frame and k² taps).
+fn dw_channel(frame: &[i8], wts: &[i8], acc: &mut [i32], g: &Geom) {
+    for rr in 0..g.out_rows {
+        let acc_row = &mut acc[rr * g.w_out..(rr + 1) * g.w_out];
+        for ky in 0..g.k {
+            let srow = &frame[(rr * g.s + ky) * g.stage_w..][..g.stage_w];
+            mac_row(acc_row, srow, &wts[ky * g.k..(ky + 1) * g.k], g.s);
+        }
+    }
+}
+
+/// Max/avg pooling for one channel. Padding carries the identity
+/// (`i8::MIN` / `0`); the valid count is recovered arithmetically as
+/// `valid_rows(rr) × col_valid[x]`, and empty windows yield `0` exactly
+/// like the reference kernel.
+fn pool_channel(frame: &[i8], acc: &mut [i32], g: &Geom, kind: PoolKind, col_valid: &[i32]) {
+    for rr in 0..g.out_rows {
+        let acc_row = &mut acc[rr * g.w_out..(rr + 1) * g.w_out];
+        match kind {
+            PoolKind::Max => acc_row.fill(i32::from(i8::MIN)),
+            PoolKind::Avg => acc_row.fill(0),
+            PoolKind::Gem { .. } => unreachable!("GeM is GlobalPool"),
+        }
+        for ky in 0..g.k {
+            let srow = &frame[(rr * g.s + ky) * g.stage_w..][..g.stage_w];
+            for kx in 0..g.k {
+                match kind {
+                    PoolKind::Max if g.s == 1 => {
+                        for (a, &x) in acc_row.iter_mut().zip(&srow[kx..kx + g.w_out]) {
+                            *a = (*a).max(i32::from(x));
+                        }
+                    }
+                    PoolKind::Max => {
+                        for (a, &x) in acc_row.iter_mut().zip(srow[kx..].iter().step_by(g.s)) {
+                            *a = (*a).max(i32::from(x));
+                        }
+                    }
+                    PoolKind::Avg if g.s == 1 => {
+                        for (a, &x) in acc_row.iter_mut().zip(&srow[kx..kx + g.w_out]) {
+                            *a += i32::from(x);
+                        }
+                    }
+                    PoolKind::Avg => {
+                        for (a, &x) in acc_row.iter_mut().zip(srow[kx..].iter().step_by(g.s)) {
+                            *a += i32::from(x);
+                        }
+                    }
+                    PoolKind::Gem { .. } => unreachable!("GeM is GlobalPool"),
+                }
+            }
+        }
+        let rv = g.valid_rows(rr);
+        for (a, &cv) in acc_row.iter_mut().zip(col_valid) {
+            let count = rv * cv;
+            *a = match kind {
+                PoolKind::Max => {
+                    if count == 0 {
+                        0
+                    } else {
+                        *a
+                    }
+                }
+                PoolKind::Avg => {
+                    if count == 0 {
+                        0
+                    } else {
+                        *a / count
+                    }
+                }
+                PoolKind::Gem { .. } => unreachable!("GeM is GlobalPool"),
+            };
+        }
+    }
+}
+
+/// Global pooling (whole input per channel). Sums fit `i64` trivially and
+/// the per-channel result is in int8 range, so the `i32` scratch is exact.
+fn global_pool(
+    bufs: &Buffers,
+    stage: &mut Stage,
+    layer: u16,
+    t: &inca_isa::Tile,
+    meta: &LayerMeta,
+    kind: PoolKind,
+    g: &Geom,
+) -> Result<(), SimError> {
+    let n = i64::from(meta.in_shape.h) * i64::from(meta.in_shape.w);
+    for (cr, acc) in stage.scratch.chunks_mut(g.chan_stride()).enumerate() {
+        let c = u32::from(t.c0) + cr as u32;
+        let mut sum = 0i64;
+        let mut powered = 0f64;
+        let mut max = i64::MIN;
+        for r in 0..meta.in_shape.h {
+            let row = bufs.data_at(layer, c, r)?;
+            for &v in row {
+                let v = i64::from(v);
+                sum += v;
+                max = max.max(v);
+                if let PoolKind::Gem { p } = kind {
+                    powered += f64::from(v.max(0) as i32).powi(i32::from(p));
+                }
+            }
+        }
+        acc[0] = match kind {
+            PoolKind::Avg => (sum / n.max(1)) as i32,
+            PoolKind::Max => max.max(0) as i32,
+            PoolKind::Gem { p } => {
+                let mean = powered / n.max(1) as f64;
+                mean.powf(1.0 / f64::from(p)).round() as i32
+            }
+        };
+    }
+    Ok(())
+}

@@ -7,12 +7,27 @@
 //! are cleared on context switch, so a missing `LOAD_D`/`VIR_LOAD_D`/
 //! `VIR_LOAD_W` (a compiler or IAU bug) surfaces as a
 //! [`SimError::MissingData`] instead of silently wrong output.
+//!
+//! CALC execution has two interchangeable kernels (see DESIGN.md,
+//! "Functional backend fast path"):
+//!
+//! * [`CalcKernel::Fast`] (the default) — stages each tile's rows and
+//!   weights into persistent zero-padded buffers, runs branch-free
+//!   widening-MAC inner loops over slices, and partitions output channels
+//!   across a scoped worker pool. Results are bit-identical to the
+//!   reference kernel at every thread count.
+//! * [`CalcKernel::Reference`] — the original naive per-pixel
+//!   bounds-checked kernel, kept verbatim in [`reference`] as the proptest
+//!   oracle and the `perf_smoke` baseline.
 
-use std::collections::HashMap;
+mod kernels;
+mod reference;
+mod stage;
 
-use inca_isa::{Instr, LayerKind, LayerMeta, Opcode, PoolKind, Program, TaskSlot, TASK_SLOTS};
+use inca_isa::{Instr, LayerKind, LayerMeta, Opcode, Program, TaskSlot, TASK_SLOTS};
 
 use crate::{Backend, SimError};
+use stage::Stage;
 
 /// A task's DDR image (task-relative addressing, as the IAU's per-slot
 /// offset registers would provide).
@@ -130,39 +145,200 @@ impl OutBlob {
     }
 }
 
-/// On-chip buffer models (keyed, capacity enforced by the compiler).
+/// One layer's on-chip entries as a dense plane with a presence bitmap.
+///
+/// Entries are fixed-size slices (`len` bytes each) addressed by a 2-D
+/// slot `(a, b)` with `b < cols` — `(channel, row)` for data planes
+/// (`cols = H_in`), `(oc, ic)` for weight planes (`cols = C_in`; depthwise
+/// stores one slice per channel with `cols = 1`). Storing slices inline in
+/// one flat allocation instead of per-slice heap `Vec`s in a hash map
+/// keeps lookups at array-index cost and makes snapshot clones a memcpy;
+/// the presence bitmap preserves the verifier semantics (reading a slot
+/// that was never loaded since the last clear is an error, not zeroes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Plane {
+    /// Bytes per entry (`W_in` for data, `k²` for weights); 0 = uninitialised.
+    len: usize,
+    /// Entries per outer index.
+    cols: usize,
+    bytes: Vec<i8>,
+    present: Vec<u64>,
+}
+
+impl Plane {
+    fn init(&mut self, len: usize, cols: usize) {
+        if self.len == 0 {
+            (self.len, self.cols) = (len, cols);
+        }
+        debug_assert_eq!((self.len, self.cols), (len, cols), "plane shape changed");
+    }
+
+    fn slot(&self, a: u32, b: u32) -> usize {
+        // Depthwise weight planes have one slice per channel (`cols == 1`)
+        // but are looked up as `(c, c)`; collapse the inner index.
+        let b = if self.cols == 1 { 0 } else { b as usize };
+        a as usize * self.cols + b
+    }
+
+    fn put(&mut self, a: u32, b: u32, src: &[u8]) {
+        debug_assert_eq!(src.len(), self.len);
+        let slot = self.slot(a, b);
+        let need = (slot + 1) * self.len;
+        if self.bytes.len() < need {
+            self.bytes.resize(need.next_power_of_two(), 0);
+        }
+        let words = slot / 64 + 1;
+        if self.present.len() < words {
+            self.present.resize(words.next_power_of_two(), 0);
+        }
+        for (dst, &s) in self.bytes[slot * self.len..][..self.len].iter_mut().zip(src) {
+            *dst = s as i8;
+        }
+        self.present[slot / 64] |= 1 << (slot % 64);
+    }
+
+    fn get(&self, a: u32, b: u32) -> Option<&[i8]> {
+        if self.len == 0 {
+            return None;
+        }
+        let slot = self.slot(a, b);
+        let loaded = self
+            .present
+            .get(slot / 64)
+            .is_some_and(|w| w & (1 << (slot % 64)) != 0);
+        loaded.then(|| &self.bytes[slot * self.len..][..self.len])
+    }
+
+    /// Marks every entry missing and forgets the shape (the next task in
+    /// this slot may size the same layer id differently), keeping the
+    /// allocations for reuse.
+    fn clear(&mut self) {
+        self.len = 0;
+        self.cols = 0;
+        self.present.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+/// On-chip buffer models (capacity enforced by the compiler): one data
+/// plane and one weight plane per layer, plus the output accumulators.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Buffers {
-    /// `(layer, buffer-virtual channel, input row) -> row of width W_in`.
-    data: HashMap<(u16, u32, u32), Vec<i8>>,
-    /// `(layer, oc, ic) -> k*k kernel slice` (depthwise: `oc == ic`).
-    weights: HashMap<(u16, u32, u32), Vec<i8>>,
+    /// Indexed by layer id: `(buffer-virtual channel, input row)` planes.
+    data: Vec<Plane>,
+    /// Indexed by layer id: `(oc, ic)` kernel-slice planes.
+    weights: Vec<Plane>,
     outputs: Vec<OutBlob>,
+}
+
+fn plane_mut(planes: &mut Vec<Plane>, layer: u16, len: usize, cols: usize) -> &mut Plane {
+    let i = usize::from(layer);
+    if planes.len() <= i {
+        planes.resize_with(i + 1, Plane::default);
+    }
+    let p = &mut planes[i];
+    p.init(len, cols);
+    p
 }
 
 impl Buffers {
     fn clear(&mut self) {
-        self.data.clear();
-        self.weights.clear();
+        self.data.iter_mut().for_each(Plane::clear);
+        self.weights.iter_mut().for_each(Plane::clear);
         self.outputs.clear();
+    }
+
+    fn data_at(&self, layer: u16, ch: u32, row: u32) -> Result<&[i8], SimError> {
+        self.data
+            .get(usize::from(layer))
+            .and_then(|p| p.get(ch, row))
+            .ok_or(SimError::MissingData { layer, channel: ch, row })
+    }
+
+    fn weights_at(&self, layer: u16, oc: u32, ic: u32) -> Result<&[i8], SimError> {
+        self.weights
+            .get(usize::from(layer))
+            .and_then(|p| p.get(oc, ic))
+            .ok_or(SimError::MissingWeights { layer, oc, ic })
     }
 }
 
+/// Which CALC kernel a [`FuncBackend`] executes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CalcKernel {
+    /// Staged, branch-free, optionally multi-threaded kernels.
+    #[default]
+    Fast,
+    /// The original naive per-pixel kernel — the correctness oracle and
+    /// performance baseline. Always single-threaded.
+    Reference,
+}
+
 /// The functional backend.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FuncBackend {
     images: [Option<DdrImage>; TASK_SLOTS],
     bufs: Buffers,
     owner: Option<TaskSlot>,
     snapshots: [Option<Buffers>; TASK_SLOTS],
     bytes_written: [u64; TASK_SLOTS],
+    kernel: CalcKernel,
+    threads: usize,
+    stage: Stage,
+}
+
+impl Default for FuncBackend {
+    fn default() -> Self {
+        Self {
+            images: Default::default(),
+            bufs: Buffers::default(),
+            owner: None,
+            snapshots: Default::default(),
+            bytes_written: [0; TASK_SLOTS],
+            kernel: CalcKernel::Fast,
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            stage: Stage::default(),
+        }
+    }
 }
 
 impl FuncBackend {
-    /// Creates a backend with no images installed.
+    /// Creates a backend with no images installed, using the fast kernel
+    /// with one worker per available hardware thread.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a backend whose CALC worker pool uses `threads` workers
+    /// (clamped to at least 1). `1` runs the fast kernel inline on the
+    /// caller's thread; results are bit-identical at every thread count.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1), ..Self::default() }
+    }
+
+    /// Creates a backend running the retained naive [`CalcKernel::Reference`]
+    /// kernel — the proptest oracle and `perf_smoke` baseline.
+    #[must_use]
+    pub fn with_kernel(kernel: CalcKernel) -> Self {
+        Self { kernel, ..Self::default() }
+    }
+
+    /// Sets the CALC worker count (clamped to at least 1).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured CALC worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The kernel this backend executes CALC with.
+    #[must_use]
+    pub fn kernel(&self) -> CalcKernel {
+        self.kernel
     }
 
     /// Installs the DDR image backing `slot`.
@@ -183,10 +359,6 @@ impl FuncBackend {
         self.images[slot.index()].as_mut()
     }
 
-    fn image_of(&mut self, slot: TaskSlot) -> Result<&mut DdrImage, SimError> {
-        self.images[slot.index()].as_mut().ok_or(SimError::NoImage(slot))
-    }
-
     /// Total bytes `SAVE`/`VIR_SAVE` wrote to `slot`'s DDR image.
     ///
     /// With correct SaveID patching, an interrupted run writes *exactly*
@@ -203,14 +375,16 @@ impl FuncBackend {
         let base = instr.ddr.addr;
         let layer = instr.layer;
         let tile = instr.tile;
-        let image = self.images[slot.index()].as_ref().ok_or(SimError::NoImage(slot))?;
+        let Self { images, bufs, .. } = self;
+        let image = images[slot.index()].as_ref().ok_or(SimError::NoImage(slot))?;
+        let plane = plane_mut(&mut bufs.data, layer, w_in as usize, h_in as usize);
         for j in 0..u64::from(tile.chans) {
             for r in 0..u64::from(tile.rows) {
                 let addr = base + j * h_in * w_in + r * w_in;
-                let row: Vec<i8> = image.get(slot, addr, w_in)?.iter().map(|&b| b as i8).collect();
+                let src = image.get(slot, addr, w_in)?;
                 let ch = u32::from(tile.c0) + j as u32;
                 let in_row = u32::from(tile.h0) + r as u32;
-                self.bufs.data.insert((layer, ch, in_row), row);
+                plane.put(ch, in_row, src);
             }
         }
         Ok(())
@@ -220,44 +394,30 @@ impl FuncBackend {
         let k2 = u64::from(meta.kind.kernel()) * u64::from(meta.kind.kernel());
         let layer = instr.layer;
         let tile = instr.tile;
+        let Self { images, bufs, .. } = self;
+        let image = images[slot.index()].as_ref().ok_or(SimError::NoImage(slot))?;
         if matches!(meta.kind, LayerKind::DwConv { .. }) {
-            let image = self.images[slot.index()].as_ref().ok_or(SimError::NoImage(slot))?;
+            let plane = plane_mut(&mut bufs.weights, layer, k2 as usize, 1);
             for j in 0..u64::from(tile.chans) {
                 let addr = instr.ddr.addr + j * k2;
-                let w: Vec<i8> = image.get(slot, addr, k2)?.iter().map(|&b| b as i8).collect();
+                let src = image.get(slot, addr, k2)?;
                 let c = u32::from(tile.c0) + j as u32;
-                self.bufs.weights.insert((layer, c, c), w);
+                plane.put(c, c, src);
             }
             return Ok(());
         }
         let c_in = u64::from(meta.in_shape.c);
-        let image = self.images[slot.index()].as_ref().ok_or(SimError::NoImage(slot))?;
+        let plane = plane_mut(&mut bufs.weights, layer, k2 as usize, c_in as usize);
         for j in 0..u64::from(tile.chans) {
             for i in 0..u64::from(tile.ics) {
                 let addr = instr.ddr.addr + (j * c_in + i) * k2;
-                let w: Vec<i8> = image.get(slot, addr, k2)?.iter().map(|&b| b as i8).collect();
+                let src = image.get(slot, addr, k2)?;
                 let oc = u32::from(tile.c0) + j as u32;
                 let ic = u32::from(tile.ic0) + i as u32;
-                self.bufs.weights.insert((layer, oc, ic), w);
+                plane.put(oc, ic, src);
             }
         }
         Ok(())
-    }
-
-    fn data_at(&self, layer: u16, ch: u32, row: u32) -> Result<&[i8], SimError> {
-        self.bufs
-            .data
-            .get(&(layer, ch, row))
-            .map(Vec::as_slice)
-            .ok_or(SimError::MissingData { layer, channel: ch, row })
-    }
-
-    fn weights_at(&self, layer: u16, oc: u32, ic: u32) -> Result<&[i8], SimError> {
-        self.bufs
-            .weights
-            .get(&(layer, oc, ic))
-            .map(Vec::as_slice)
-            .ok_or(SimError::MissingWeights { layer, oc, ic })
     }
 
     fn blob_entry(&mut self, instr: &Instr, meta: &LayerMeta) -> usize {
@@ -284,199 +444,32 @@ impl FuncBackend {
         self.bufs.outputs.len() - 1
     }
 
-    #[allow(clippy::too_many_lines)]
     fn calc(&mut self, instr: &Instr, meta: &LayerMeta) -> Result<(), SimError> {
         let entry = self.blob_entry(instr, meta);
-        let t = instr.tile;
-        let (k, s, p) = (
-            i64::from(meta.kind.kernel()),
-            i64::from(meta.kind.stride()),
-            i64::from(meta.kind.pad()),
-        );
-        let (h_in, w_in) = (i64::from(meta.in_shape.h), i64::from(meta.in_shape.w));
-        let w_out = meta.out_shape.w;
-        let layer = instr.layer;
+        let Self { bufs, stage, kernel, threads, .. } = self;
 
-        // Compute into a scratch to satisfy the borrow checker, then merge.
-        let mut scratch =
-            vec![0i64; usize::from(t.chans) * usize::from(t.rows) * w_out as usize];
-        let sidx = |cr: u32, rr: u32, x: u32| -> usize {
-            ((cr * u32::from(t.rows) + rr) * w_out + x) as usize
-        };
-
-        match meta.kind {
-            LayerKind::Conv { .. } => {
-                for cr in 0..u32::from(t.chans) {
-                    let oc = u32::from(t.c0) + cr;
-                    for rr in 0..u32::from(t.rows) {
-                        let out_r = i64::from(t.h0) + i64::from(rr);
-                        for ic in t.ic_range() {
-                            let w = self.weights_at(layer, oc, ic)?.to_vec();
-                            for ky in 0..k {
-                                let in_r = out_r * s - p + ky;
-                                if in_r < 0 || in_r >= h_in {
-                                    continue;
-                                }
-                                let row = self.data_at(layer, ic, in_r as u32)?;
-                                for x in 0..w_out {
-                                    let mut acc = 0i64;
-                                    for kx in 0..k {
-                                        let in_x = i64::from(x) * s - p + kx;
-                                        if in_x < 0 || in_x >= w_in {
-                                            continue;
-                                        }
-                                        acc += i64::from(row[in_x as usize])
-                                            * i64::from(w[(ky * k + kx) as usize]);
-                                    }
-                                    scratch[sidx(cr, rr, x)] += acc;
-                                }
-                            }
-                        }
-                    }
+        match kernel {
+            CalcKernel::Fast => {
+                kernels::calc_into(bufs, stage, instr, meta, *threads)?;
+                let blob = &mut bufs.outputs[entry];
+                for (dst, &add) in blob.acc.iter_mut().zip(stage.scratch.iter()) {
+                    *dst = dst.saturating_add(add);
                 }
             }
-            LayerKind::DwConv { .. } => {
-                for cr in 0..u32::from(t.chans) {
-                    let c = u32::from(t.c0) + cr;
-                    let w = self.weights_at(layer, c, c)?.to_vec();
-                    for rr in 0..u32::from(t.rows) {
-                        let out_r = i64::from(t.h0) + i64::from(rr);
-                        for ky in 0..k {
-                            let in_r = out_r * s - p + ky;
-                            if in_r < 0 || in_r >= h_in {
-                                continue;
-                            }
-                            let row = self.data_at(layer, c, in_r as u32)?;
-                            for x in 0..w_out {
-                                let mut acc = 0i64;
-                                for kx in 0..k {
-                                    let in_x = i64::from(x) * s - p + kx;
-                                    if in_x < 0 || in_x >= w_in {
-                                        continue;
-                                    }
-                                    acc += i64::from(row[in_x as usize])
-                                        * i64::from(w[(ky * k + kx) as usize]);
-                                }
-                                scratch[sidx(cr, rr, x)] += acc;
-                            }
-                        }
-                    }
+            CalcKernel::Reference => {
+                let scratch = reference::calc_scratch(bufs, instr, meta)?;
+                let blob = &mut bufs.outputs[entry];
+                for (dst, add) in blob.acc.iter_mut().zip(scratch) {
+                    *dst = dst.saturating_add(
+                        i32::try_from(add.clamp(i64::from(i32::MIN), i64::from(i32::MAX)))
+                            .expect("clamped"),
+                    );
                 }
             }
-            LayerKind::Pool { kind, .. } => {
-                for cr in 0..u32::from(t.chans) {
-                    let c = u32::from(t.c0) + cr;
-                    for rr in 0..u32::from(t.rows) {
-                        let out_r = i64::from(t.h0) + i64::from(rr);
-                        for x in 0..w_out {
-                            let mut max = i64::MIN;
-                            let mut sum = 0i64;
-                            let mut count = 0i64;
-                            for ky in 0..k {
-                                let in_r = out_r * s - p + ky;
-                                if in_r < 0 || in_r >= h_in {
-                                    continue;
-                                }
-                                let row = self.data_at(layer, c, in_r as u32)?;
-                                for kx in 0..k {
-                                    let in_x = i64::from(x) * s - p + kx;
-                                    if in_x < 0 || in_x >= w_in {
-                                        continue;
-                                    }
-                                    let v = i64::from(row[in_x as usize]);
-                                    max = max.max(v);
-                                    sum += v;
-                                    count += 1;
-                                }
-                            }
-                            scratch[sidx(cr, rr, x)] = match kind {
-                                PoolKind::Max => {
-                                    if count == 0 {
-                                        0
-                                    } else {
-                                        max
-                                    }
-                                }
-                                PoolKind::Avg => {
-                                    if count == 0 {
-                                        0
-                                    } else {
-                                        sum / count
-                                    }
-                                }
-                                PoolKind::Gem { .. } => unreachable!("GeM is GlobalPool"),
-                            };
-                        }
-                    }
-                }
-            }
-            LayerKind::GlobalPool { kind } => {
-                for cr in 0..u32::from(t.chans) {
-                    let c = u32::from(t.c0) + cr;
-                    let mut sum = 0i64;
-                    let mut powered = 0f64;
-                    let mut max = i64::MIN;
-                    let n = i64::from(meta.in_shape.h) * i64::from(meta.in_shape.w);
-                    for r in 0..meta.in_shape.h {
-                        let row = self.data_at(layer, c, r)?;
-                        for &v in row {
-                            let v = i64::from(v);
-                            sum += v;
-                            max = max.max(v);
-                            if let PoolKind::Gem { p } = kind {
-                                powered += f64::from(v.max(0) as i32).powi(i32::from(p));
-                            }
-                        }
-                    }
-                    scratch[sidx(cr, 0, 0)] = match kind {
-                        PoolKind::Avg => sum / n.max(1),
-                        PoolKind::Max => max.max(0),
-                        PoolKind::Gem { p } => {
-                            let mean = powered / n.max(1) as f64;
-                            mean.powf(1.0 / f64::from(p)).round() as i64
-                        }
-                    };
-                }
-            }
-            LayerKind::Add => {
-                let c_in = meta.in_shape.c;
-                for cr in 0..u32::from(t.chans) {
-                    let c = u32::from(t.c0) + cr;
-                    for rr in 0..u32::from(t.rows) {
-                        let r = u32::from(t.h0) + rr;
-                        let a = self.data_at(layer, c, r)?.to_vec();
-                        let b = self.data_at(layer, c + c_in, r)?;
-                        for x in 0..w_out {
-                            scratch[sidx(cr, rr, x)] =
-                                i64::from(a[x as usize]) + i64::from(b[x as usize]);
-                        }
-                    }
-                }
-            }
-            LayerKind::FullyConnected => {
-                for cr in 0..u32::from(t.chans) {
-                    let oc = u32::from(t.c0) + cr;
-                    let mut acc = 0i64;
-                    for ic in t.ic_range() {
-                        let w = self.weights_at(layer, oc, ic)?;
-                        let row = self.data_at(layer, ic, 0)?;
-                        acc += i64::from(row[0]) * i64::from(w[0]);
-                    }
-                    scratch[sidx(cr, 0, 0)] = acc;
-                }
-            }
-        }
-
-        let blob = &mut self.bufs.outputs[entry];
-        for (dst, add) in blob.acc.iter_mut().zip(scratch) {
-            *dst = dst.saturating_add(i32::try_from(add.clamp(
-                i64::from(i32::MIN),
-                i64::from(i32::MAX),
-            ))
-            .expect("clamped"));
         }
 
         if instr.op == Opcode::CalcF {
+            let blob = &mut self.bufs.outputs[entry];
             let shift = meta.quant_shift;
             let relu = meta.relu;
             for v in &mut blob.acc {
@@ -495,22 +488,25 @@ impl FuncBackend {
         let t = instr.tile;
         let (h_out, w_out) = (u64::from(meta.out_shape.h), u64::from(meta.out_shape.w));
         let layer = instr.layer;
+        let Self { images, bufs, stage, bytes_written, .. } = self;
+        let image = images[slot.index()].as_mut().ok_or(SimError::NoImage(slot))?;
         for j in 0..u32::from(t.chans) {
             let ch = u32::from(t.c0) + j;
             for rr in 0..u32::from(t.rows) {
                 let row = u32::from(t.h0) + rr;
-                let blob = self
-                    .bufs
+                let blob = bufs
                     .outputs
                     .iter()
                     .find(|b| b.layer == layer && b.finalized && b.covers(ch, row))
                     .ok_or(SimError::MissingOutput { layer, channel: ch, row })?;
-                let mut bytes = Vec::with_capacity(w_out as usize);
-                for x in 0..meta.out_shape.w {
-                    bytes.push(blob.acc[blob.idx(ch, row, x)] as i8 as u8);
-                }
+                // A blob row is contiguous in acc; narrow once and stage the
+                // bytes in a persistent buffer instead of a per-row Vec.
+                let base = blob.idx(ch, row, 0);
+                let acc_row = &blob.acc[base..base + w_out as usize];
+                let bytes = &mut stage.row_bytes;
+                bytes.clear();
+                bytes.extend(acc_row.iter().map(|&v| v as i8 as u8));
                 let addr = instr.ddr.addr + u64::from(j) * h_out * w_out + u64::from(rr) * w_out;
-                let image = self.image_of(slot)?;
                 let end = addr + w_out;
                 if end > image.capacity() {
                     return Err(SimError::AddressOutOfRange {
@@ -520,8 +516,8 @@ impl FuncBackend {
                         capacity: image.capacity(),
                     });
                 }
-                image.write(addr, &bytes);
-                self.bytes_written[slot.index()] += w_out;
+                image.write(addr, bytes);
+                bytes_written[slot.index()] += w_out;
             }
         }
         // A real SAVE retires its blobs from the output buffer.
@@ -601,12 +597,23 @@ mod tests {
         let s0 = TaskSlot::new(0).unwrap();
         let s1 = TaskSlot::new(1).unwrap();
         b.on_switch(s0);
-        b.bufs.data.insert((0, 0, 0), vec![1, 2, 3]);
+        plane_mut(&mut b.bufs.data, 0, 3, 1).put(0, 0, &[1, 2, 3]);
         b.snapshot(s0);
         b.on_switch(s1);
-        assert!(b.bufs.data.is_empty());
+        assert!(b.bufs.data_at(0, 0, 0).is_err(), "switch must clear the buffers");
         b.restore(s0).unwrap();
-        assert_eq!(b.bufs.data.get(&(0, 0, 0)).unwrap(), &vec![1, 2, 3]);
+        assert_eq!(b.bufs.data_at(0, 0, 0).unwrap(), &[1, 2, 3]);
         assert!(b.restore(s0).is_err(), "snapshot is single-use");
+    }
+
+    #[test]
+    fn thread_knob_clamps_and_defaults() {
+        assert!(FuncBackend::new().threads() >= 1);
+        assert_eq!(FuncBackend::with_threads(0).threads(), 1);
+        assert_eq!(FuncBackend::with_threads(4).threads(), 4);
+        let mut b = FuncBackend::with_kernel(CalcKernel::Reference);
+        assert_eq!(b.kernel(), CalcKernel::Reference);
+        b.set_threads(0);
+        assert_eq!(b.threads(), 1);
     }
 }

@@ -1,0 +1,201 @@
+//! The seed's naive CALC kernel, retained verbatim as the correctness
+//! oracle and performance baseline.
+//!
+//! This is the original 7-deep scalar loop with per-pixel bounds checks,
+//! per-`(oc, ic)` weight clones and a freshly allocated `i64` scratch per
+//! instruction — exactly the code the fast path in [`super::kernels`] must
+//! match bit-for-bit. Property tests run both kernels on random tiles and
+//! assert equality; `perf_smoke` measures the fast path's speedup against
+//! this one. Do not optimise it.
+
+use inca_isa::{Instr, LayerKind, LayerMeta, PoolKind};
+
+use super::{Buffers, SimError};
+
+/// Computes one CALC instruction's contribution as a freshly allocated
+/// blob-layout `i64` scratch (the seed kernel's exact arithmetic).
+#[allow(clippy::too_many_lines)]
+pub(super) fn calc_scratch(
+    bufs: &Buffers,
+    instr: &Instr,
+    meta: &LayerMeta,
+) -> Result<Vec<i64>, SimError> {
+    let t = instr.tile;
+    let (k, s, p) = (
+        i64::from(meta.kind.kernel()),
+        i64::from(meta.kind.stride()),
+        i64::from(meta.kind.pad()),
+    );
+    let (h_in, w_in) = (i64::from(meta.in_shape.h), i64::from(meta.in_shape.w));
+    let w_out = meta.out_shape.w;
+    let layer = instr.layer;
+
+    let mut scratch = vec![0i64; usize::from(t.chans) * usize::from(t.rows) * w_out as usize];
+    let sidx = |cr: u32, rr: u32, x: u32| -> usize {
+        ((cr * u32::from(t.rows) + rr) * w_out + x) as usize
+    };
+
+    match meta.kind {
+        LayerKind::Conv { .. } => {
+            for cr in 0..u32::from(t.chans) {
+                let oc = u32::from(t.c0) + cr;
+                for rr in 0..u32::from(t.rows) {
+                    let out_r = i64::from(t.h0) + i64::from(rr);
+                    for ic in t.ic_range() {
+                        let w = bufs.weights_at(layer, oc, ic)?.to_vec();
+                        for ky in 0..k {
+                            let in_r = out_r * s - p + ky;
+                            if in_r < 0 || in_r >= h_in {
+                                continue;
+                            }
+                            let row = bufs.data_at(layer, ic, in_r as u32)?;
+                            for x in 0..w_out {
+                                let mut acc = 0i64;
+                                for kx in 0..k {
+                                    let in_x = i64::from(x) * s - p + kx;
+                                    if in_x < 0 || in_x >= w_in {
+                                        continue;
+                                    }
+                                    acc += i64::from(row[in_x as usize])
+                                        * i64::from(w[(ky * k + kx) as usize]);
+                                }
+                                scratch[sidx(cr, rr, x)] += acc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        LayerKind::DwConv { .. } => {
+            for cr in 0..u32::from(t.chans) {
+                let c = u32::from(t.c0) + cr;
+                let w = bufs.weights_at(layer, c, c)?.to_vec();
+                for rr in 0..u32::from(t.rows) {
+                    let out_r = i64::from(t.h0) + i64::from(rr);
+                    for ky in 0..k {
+                        let in_r = out_r * s - p + ky;
+                        if in_r < 0 || in_r >= h_in {
+                            continue;
+                        }
+                        let row = bufs.data_at(layer, c, in_r as u32)?;
+                        for x in 0..w_out {
+                            let mut acc = 0i64;
+                            for kx in 0..k {
+                                let in_x = i64::from(x) * s - p + kx;
+                                if in_x < 0 || in_x >= w_in {
+                                    continue;
+                                }
+                                acc += i64::from(row[in_x as usize])
+                                    * i64::from(w[(ky * k + kx) as usize]);
+                            }
+                            scratch[sidx(cr, rr, x)] += acc;
+                        }
+                    }
+                }
+            }
+        }
+        LayerKind::Pool { kind, .. } => {
+            for cr in 0..u32::from(t.chans) {
+                let c = u32::from(t.c0) + cr;
+                for rr in 0..u32::from(t.rows) {
+                    let out_r = i64::from(t.h0) + i64::from(rr);
+                    for x in 0..w_out {
+                        let mut max = i64::MIN;
+                        let mut sum = 0i64;
+                        let mut count = 0i64;
+                        for ky in 0..k {
+                            let in_r = out_r * s - p + ky;
+                            if in_r < 0 || in_r >= h_in {
+                                continue;
+                            }
+                            let row = bufs.data_at(layer, c, in_r as u32)?;
+                            for kx in 0..k {
+                                let in_x = i64::from(x) * s - p + kx;
+                                if in_x < 0 || in_x >= w_in {
+                                    continue;
+                                }
+                                let v = i64::from(row[in_x as usize]);
+                                max = max.max(v);
+                                sum += v;
+                                count += 1;
+                            }
+                        }
+                        scratch[sidx(cr, rr, x)] = match kind {
+                            PoolKind::Max => {
+                                if count == 0 {
+                                    0
+                                } else {
+                                    max
+                                }
+                            }
+                            PoolKind::Avg => {
+                                if count == 0 {
+                                    0
+                                } else {
+                                    sum / count
+                                }
+                            }
+                            PoolKind::Gem { .. } => unreachable!("GeM is GlobalPool"),
+                        };
+                    }
+                }
+            }
+        }
+        LayerKind::GlobalPool { kind } => {
+            for cr in 0..u32::from(t.chans) {
+                let c = u32::from(t.c0) + cr;
+                let mut sum = 0i64;
+                let mut powered = 0f64;
+                let mut max = i64::MIN;
+                let n = i64::from(meta.in_shape.h) * i64::from(meta.in_shape.w);
+                for r in 0..meta.in_shape.h {
+                    let row = bufs.data_at(layer, c, r)?;
+                    for &v in row {
+                        let v = i64::from(v);
+                        sum += v;
+                        max = max.max(v);
+                        if let PoolKind::Gem { p } = kind {
+                            powered += f64::from(v.max(0) as i32).powi(i32::from(p));
+                        }
+                    }
+                }
+                scratch[sidx(cr, 0, 0)] = match kind {
+                    PoolKind::Avg => sum / n.max(1),
+                    PoolKind::Max => max.max(0),
+                    PoolKind::Gem { p } => {
+                        let mean = powered / n.max(1) as f64;
+                        mean.powf(1.0 / f64::from(p)).round() as i64
+                    }
+                };
+            }
+        }
+        LayerKind::Add => {
+            let c_in = meta.in_shape.c;
+            for cr in 0..u32::from(t.chans) {
+                let c = u32::from(t.c0) + cr;
+                for rr in 0..u32::from(t.rows) {
+                    let r = u32::from(t.h0) + rr;
+                    let a = bufs.data_at(layer, c, r)?.to_vec();
+                    let b = bufs.data_at(layer, c + c_in, r)?;
+                    for x in 0..w_out {
+                        scratch[sidx(cr, rr, x)] =
+                            i64::from(a[x as usize]) + i64::from(b[x as usize]);
+                    }
+                }
+            }
+        }
+        LayerKind::FullyConnected => {
+            for cr in 0..u32::from(t.chans) {
+                let oc = u32::from(t.c0) + cr;
+                let mut acc = 0i64;
+                for ic in t.ic_range() {
+                    let w = bufs.weights_at(layer, oc, ic)?;
+                    let row = bufs.data_at(layer, ic, 0)?;
+                    acc += i64::from(row[0]) * i64::from(w[0]);
+                }
+                scratch[sidx(cr, 0, 0)] = acc;
+            }
+        }
+    }
+    Ok(scratch)
+}

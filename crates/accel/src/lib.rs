@@ -70,6 +70,6 @@ pub use cost::instr_cycles;
 pub use engine::{
     Engine, Event, InterruptEvent, InterruptStrategy, JobRecord, Profile, Report, TaskState,
 };
-pub use func::{DdrImage, FuncBackend};
+pub use func::{CalcKernel, DdrImage, FuncBackend};
 
 pub use inca_isa::{ArchSpec, Parallelism, Program, TaskSlot};

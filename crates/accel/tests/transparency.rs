@@ -218,8 +218,11 @@ fn all_outputs(program: &Program, image: &DdrImage) -> Vec<Vec<i8>> {
 }
 
 fn run_uninterrupted(program: &Program, seed: u64) -> Vec<Vec<i8>> {
+    run_uninterrupted_with(FuncBackend::new(), program, seed)
+}
+
+fn run_uninterrupted_with(mut backend: FuncBackend, program: &Program, seed: u64) -> Vec<Vec<i8>> {
     let slot = TaskSlot::new(3).unwrap();
-    let mut backend = FuncBackend::new();
     backend.install_image(slot, image_with_input(program, seed));
     let mut e = Engine::new(
         AccelConfig::paper_small(),
@@ -281,9 +284,19 @@ fn run_interrupted(
     request_cycle: u64,
     seed: u64,
 ) -> (Vec<Vec<i8>>, usize) {
+    run_interrupted_with(FuncBackend::new(), strategy, lo_program, hi_program, request_cycle, seed)
+}
+
+fn run_interrupted_with(
+    mut backend: FuncBackend,
+    strategy: InterruptStrategy,
+    lo_program: &Program,
+    hi_program: &Program,
+    request_cycle: u64,
+    seed: u64,
+) -> (Vec<Vec<i8>>, usize) {
     let hi = TaskSlot::new(1).unwrap();
     let lo = TaskSlot::new(3).unwrap();
-    let mut backend = FuncBackend::new();
     backend.install_image(lo, image_with_input(lo_program, seed));
     backend.install_image(hi, image_with_input(hi_program, seed ^ 0x1234));
     let mut e = Engine::new(AccelConfig::paper_small(), strategy, backend);
@@ -465,5 +478,40 @@ fn channel_outer_loop_order_is_also_transparent() {
         let (outputs, _) =
             run_interrupted(InterruptStrategy::VirtualInstruction, &lo, &hi, request, 3);
         assert_eq!(outputs, expected, "request at {request}");
+    }
+}
+
+#[test]
+fn transparency_holds_at_explicit_thread_counts() {
+    // The fast kernel's worker pool must not affect any output byte:
+    // uninterrupted and interrupted runs agree with the golden reference
+    // at thread counts 1, 2 and 8 alike.
+    let c = Compiler::new(AccelConfig::paper_small().arch);
+    let lo_net = zoo::tiny(Shape3::new(3, 32, 32)).unwrap();
+    let hi_net = zoo::tiny(Shape3::new(3, 16, 16)).unwrap();
+    let lo_prog = c.compile_vi(&lo_net).unwrap();
+    let hi_prog = c.compile_vi(&hi_net).unwrap();
+
+    let mut golden_img = image_with_input(&lo_prog, 42);
+    reference_run(&lo_prog, &mut golden_img);
+    let expected = all_outputs(&lo_prog, &golden_img);
+
+    for threads in [1usize, 2, 8] {
+        let plain = run_uninterrupted_with(FuncBackend::with_threads(threads), &lo_prog, 42);
+        assert_eq!(plain, expected, "uninterrupted run differs at threads={threads}");
+        for request in [2_000u64, 9_000] {
+            let (outputs, _) = run_interrupted_with(
+                FuncBackend::with_threads(threads),
+                InterruptStrategy::VirtualInstruction,
+                &lo_prog,
+                &hi_prog,
+                request,
+                42,
+            );
+            assert_eq!(
+                outputs, expected,
+                "interrupted run differs at threads={threads}, request={request}"
+            );
+        }
     }
 }

@@ -8,6 +8,16 @@ use inca_compiler::Compiler;
 use inca_isa::TaskSlot;
 use inca_model::{zoo, Shape3};
 
+fn run_program(cfg: AccelConfig, program: &Arc<inca_isa::Program>, backend: FuncBackend) -> u64 {
+    let slot = TaskSlot::LOWEST;
+    let mut backend = backend;
+    backend.install_image(slot, DdrImage::for_program(program, 1));
+    let mut engine = Engine::new(cfg, InterruptStrategy::VirtualInstruction, backend);
+    engine.load(slot, Arc::clone(program)).unwrap();
+    engine.request_at(0, slot).unwrap();
+    engine.run().unwrap().final_cycle
+}
+
 fn bench_func(c: &mut Criterion) {
     let cfg = AccelConfig::paper_small();
     let compiler = Compiler::new(cfg.arch);
@@ -18,15 +28,24 @@ fn bench_func(c: &mut Criterion) {
     let mut g = c.benchmark_group("func_sim");
     g.throughput(Throughput::Elements(macs));
     g.bench_function("tiny_32_int8_inference", |b| {
-        b.iter(|| {
-            let slot = TaskSlot::LOWEST;
-            let mut backend = FuncBackend::new();
-            backend.install_image(slot, DdrImage::for_program(&program, 1));
-            let mut engine = Engine::new(cfg, InterruptStrategy::VirtualInstruction, backend);
-            engine.load(slot, Arc::clone(&program)).unwrap();
-            engine.request_at(0, slot).unwrap();
-            engine.run().unwrap().final_cycle
-        })
+        b.iter(|| run_program(cfg, &program, FuncBackend::new()))
+    });
+    g.bench_function("tiny_32_int8_inference_1t", |b| {
+        b.iter(|| run_program(cfg, &program, FuncBackend::with_threads(1)))
+    });
+    g.finish();
+
+    // A larger-than-tiny workload: MobileNetV1 at 32×32 stresses the
+    // depthwise/pointwise staging paths and bigger channel counts.
+    let mobilenet = zoo::mobilenet_v1(Shape3::new(3, 32, 32)).unwrap();
+    let mn_program = Arc::new(compiler.compile_vi(&mobilenet).unwrap());
+    let mut g = c.benchmark_group("func_sim_mobilenet");
+    g.throughput(Throughput::Elements(mobilenet.total_macs()));
+    g.bench_function("mobilenet_v1_32_int8_inference", |b| {
+        b.iter(|| run_program(cfg, &mn_program, FuncBackend::new()))
+    });
+    g.bench_function("mobilenet_v1_32_int8_inference_1t", |b| {
+        b.iter(|| run_program(cfg, &mn_program, FuncBackend::with_threads(1)))
     });
     g.finish();
 }

@@ -1,0 +1,88 @@
+//! CI-fast performance smoke test of the functional backend.
+//!
+//! Pushes one SuperPoint-backbone frame and one ResNet-18 basic block
+//! through `FuncBackend` under three kernel configurations — the retained
+//! naive reference kernel, the fast kernel at 1 thread, and the fast
+//! kernel at the default thread count — and prints one JSON line with
+//! MACs/s per configuration plus the speedups over the reference.
+//!
+//! Run with `cargo run --release -p inca-bench --bin perf_smoke`; numbers
+//! are tracked in EXPERIMENTS.md ("Functional backend fast path").
+
+use std::time::Instant;
+
+use inca_accel::{AccelConfig, Backend, CalcKernel, DdrImage, FuncBackend, Program, TaskSlot};
+use inca_compiler::Compiler;
+use inca_model::{zoo, Network, NetworkBuilder, Shape3};
+
+/// One ResNet-18 basic block (two 3×3/64 convs with an identity shortcut)
+/// at the 28×28 stage resolution.
+fn resnet18_block() -> Network {
+    let mut b = NetworkBuilder::new("resnet18_block", Shape3::new(64, 28, 28));
+    let x = b.input_id();
+    let c1 = b.conv("2a", x, 64, 3, 1, 1, true).unwrap();
+    let c2 = b.conv("2b", c1, 64, 3, 1, 1, false).unwrap();
+    let a = b.add("add", x, c2, true).unwrap();
+    b.finish(vec![a]).unwrap()
+}
+
+/// Executes every original instruction of `program` once; returns wall
+/// seconds for the run.
+fn run_once(backend: &mut FuncBackend, program: &Program) -> f64 {
+    let slot = TaskSlot::LOWEST;
+    backend.install_image(slot, DdrImage::for_program(program, 0xBEEF));
+    backend.on_switch(slot);
+    let t0 = Instant::now();
+    for instr in &program.instrs {
+        if !instr.op.is_virtual() {
+            backend.execute(slot, program, instr).expect("perf_smoke program executes");
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Best-of-`iters` wall time after one warm-up run (the warm-up also
+/// grows the backend's staging buffers to steady state).
+fn measure(mut backend: FuncBackend, program: &Program, iters: usize) -> f64 {
+    run_once(&mut backend, program);
+    (0..iters).map(|_| run_once(&mut backend, program)).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let compiler = Compiler::new(AccelConfig::paper_small().arch);
+    let workloads = [
+        (zoo::superpoint(Shape3::new(1, 48, 48)).unwrap(), "superpoint_48x48"),
+        (resnet18_block(), "resnet18_block_64x28x28"),
+    ];
+    let threads = FuncBackend::new().threads();
+
+    let mut entries = Vec::new();
+    for (net, name) in &workloads {
+        let program = compiler.compile_vi(net).unwrap();
+        let macs = net.total_macs() as f64;
+        let t_ref = measure(FuncBackend::with_kernel(CalcKernel::Reference), &program, 1);
+        let t_fast1 = measure(FuncBackend::with_threads(1), &program, 3);
+        let t_fastn = measure(FuncBackend::new(), &program, 3);
+        entries.push(format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"macs\":{},",
+                "\"reference_macs_per_s\":{:.3e},",
+                "\"fast_1t_macs_per_s\":{:.3e},",
+                "\"fast_default_macs_per_s\":{:.3e},",
+                "\"speedup_1t\":{:.2},\"speedup_default\":{:.2}}}"
+            ),
+            name,
+            macs as u64,
+            macs / t_ref,
+            macs / t_fast1,
+            macs / t_fastn,
+            t_ref / t_fast1,
+            t_ref / t_fastn,
+        ));
+    }
+    println!(
+        "{{\"bench\":\"perf_smoke\",\"threads\":{},\"workloads\":[{}]}}",
+        threads,
+        entries.join(",")
+    );
+}

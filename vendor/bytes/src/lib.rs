@@ -1,0 +1,149 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Implements exactly the cursor subset the `inca-isa` binary codec uses:
+//! [`Buf`] for `&[u8]` (little-endian reads that advance the slice) and
+//! [`BufMut`] for `Vec<u8>` (little-endian appends). Panics on underflow,
+//! matching the real crate's contract.
+
+#![forbid(unsafe_code)]
+
+/// Read side of a byte cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// Copies `dst.len()` bytes out and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "Buf underflow: {} < {}", self.len(), dst.len());
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write side of a byte cursor (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for &mut [u8] {
+    /// Overwrites the front of the slice and advances past it, panicking
+    /// on overflow — the real crate's fixed-buffer cursor semantics.
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(self.len() >= src.len(), "BufMut overflow: {} < {}", self.len(), src.len());
+        let (head, tail) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_little_endian() {
+        let mut out = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        let mut r: &[u8] = &out;
+        assert_eq!(r.remaining(), 15);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Buf underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32_le();
+    }
+
+    #[test]
+    fn slice_cursor_writes_in_place() {
+        let mut buf = [0u8; 7];
+        {
+            let mut w: &mut [u8] = &mut buf;
+            w.put_u8(0xAB);
+            w.put_u16_le(0x1234);
+            w.put_u32_le(0xDEAD_BEEF);
+            assert!(w.is_empty());
+        }
+        assert_eq!(buf, [0xAB, 0x34, 0x12, 0xEF, 0xBE, 0xAD, 0xDE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "BufMut overflow")]
+    fn slice_cursor_overflow_panics() {
+        let mut buf = [0u8; 2];
+        let mut w: &mut [u8] = &mut buf;
+        w.put_u32_le(1);
+    }
+}

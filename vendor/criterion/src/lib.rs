@@ -1,0 +1,166 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group/bench-function/throughput API this workspace's
+//! benches use, backed by a simple wall-clock harness: each benchmark warms
+//! up briefly, then runs timed batches for a fixed budget and prints the
+//! mean iteration time (plus elements/s when a [`Throughput`] is set).
+//! There is no statistical analysis, plotting, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (e.g. MACs).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Drives timed iterations of one benchmark.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_secs: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring batches until the
+    /// measurement budget is exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: also yields a first per-iter estimate for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Batch size targeting ~10ms per batch so clock overhead is noise.
+        let batch = ((0.01 / est.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            iters += batch;
+        }
+        self.mean_secs = total.as_secs_f64() / iters.max(1) as f64;
+        self.iters = iters;
+    }
+}
+
+/// A named set of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its mean time (and rate, if a
+    /// throughput was declared).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            warmup: self.criterion.warmup,
+            measure: self.criterion.measure,
+            mean_secs: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_secs > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / b.mean_secs)
+            }
+            Some(Throughput::Bytes(n)) if b.mean_secs > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / b.mean_secs)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:>12.3} us/iter  ({} iters){}",
+            self.name,
+            id,
+            b.mean_secs * 1e6,
+            b.iters,
+            rate
+        );
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { warmup: Duration::from_millis(300), measure: Duration::from_millis(1000) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion { warmup: Duration::from_millis(5), measure: Duration::from_millis(10) };
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| ran = ran.wrapping_add(1));
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

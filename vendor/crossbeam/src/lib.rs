@@ -1,0 +1,184 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the two crossbeam facilities it uses, backed by the standard library:
+//!
+//! * [`channel`] — unbounded MPSC channels (`crossbeam::channel` API shape
+//!   over `std::sync::mpsc`; the std sender has been `Sync` since 1.72, so
+//!   the fan-out patterns the runtime uses work unchanged);
+//! * [`thread`] — scoped threads (`crossbeam::thread::scope` API shape
+//!   over `std::thread::scope`), used by the functional simulator's
+//!   multi-threaded CALC kernels.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Unbounded channels with the `crossbeam::channel` API shape.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing when all receivers are gone.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] when the receiving side has disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when every sender has disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when no message is queued,
+        /// [`TryRecvError::Disconnected`] when every sender is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator over incoming messages.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+
+        /// Non-blocking iterator draining queued messages.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.0.try_iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` API shape.
+
+    use std::thread as std_thread;
+
+    /// Result type of [`scope`]: the closure's value, or the propagated
+    /// panic payload of a child thread.
+    pub type ScopeResult<T> = Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle; closures spawned through it may borrow from the
+    /// caller's stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so it
+        /// can spawn further threads), matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before `scope` returns. Unjoined child
+    /// panics propagate as a panic (the std behaviour), so the `Ok` arm is
+    /// always taken — callers `.expect()` it exactly as with crossbeam.
+    ///
+    /// # Errors
+    ///
+    /// Present for crossbeam API compatibility; this implementation
+    /// surfaces child panics by panicking instead of returning `Err`.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.try_iter().sum::<i32>(), 3);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 2];
+        super::thread::scope(|s| {
+            let (a, b) = out.split_at_mut(1);
+            let h1 = s.spawn(|_| data[..2].iter().sum::<u64>());
+            let h2 = s.spawn(|_| data[2..].iter().sum::<u64>());
+            a[0] = h1.join().unwrap();
+            b[0] = h2.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(out, vec![3, 7]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the smallest surface it actually uses: the `Serialize`/`Deserialize`
+//! *names* (types only derive them; no code path serialises). The traits
+//! are empty markers and the derive macros generate no impls. Replacing
+//! this with real serde is a one-line change in the root `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

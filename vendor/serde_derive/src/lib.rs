@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so
+//! downstream users *could* serialise them, but nothing in the repo
+//! serialises at run time and the build container has no network access to
+//! fetch the real crate. These derive macros therefore accept the same
+//! syntax and generate no code; swapping the workspace dependency back to
+//! crates.io serde is a one-line change in the root `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and generates nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and generates nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
