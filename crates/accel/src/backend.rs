@@ -70,10 +70,9 @@ impl std::fmt::Display for SimError {
             SimError::MissingOutput { layer, channel, row } => {
                 write!(f, "output buffer miss: layer {layer}, channel {channel}, row {row}")
             }
-            SimError::AddressOutOfRange { slot, addr, len, capacity } => write!(
-                f,
-                "{slot}: DDR access {addr:#x}+{len} outside image of {capacity} bytes"
-            ),
+            SimError::AddressOutOfRange { slot, addr, len, capacity } => {
+                write!(f, "{slot}: DDR access {addr:#x}+{len} outside image of {capacity} bytes")
+            }
             SimError::NoImage(s) => write!(f, "no DDR image installed for {s}"),
             SimError::NoSnapshot(s) => write!(f, "no snapshot to restore for {s}"),
             SimError::Engine(m) => write!(f, "engine error: {m}"),

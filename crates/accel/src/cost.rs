@@ -164,11 +164,8 @@ mod tests {
     #[test]
     fn fc_is_one_wave_per_group_pair() {
         let cfg = AccelConfig::paper_big();
-        let fc = meta_of(
-            LayerKind::FullyConnected,
-            Shape3::new(2048, 1, 1),
-            Shape3::new(2048, 1, 1),
-        );
+        let fc =
+            meta_of(LayerKind::FullyConnected, Shape3::new(2048, 1, 1), Shape3::new(2048, 1, 1));
         assert_eq!(instr_cycles(&cfg, &fc, &calc(1)), 1 + 16);
     }
 

@@ -68,7 +68,13 @@ impl std::ops::Add for EnergyEstimate {
 impl EnergyModel {
     /// Estimate from raw counters: MACs, DDR bytes and wall-clock cycles.
     #[must_use]
-    pub fn estimate(&self, cfg: &AccelConfig, macs: u64, ddr_bytes: u64, cycles: u64) -> EnergyEstimate {
+    pub fn estimate(
+        &self,
+        cfg: &AccelConfig,
+        macs: u64,
+        ddr_bytes: u64,
+        cycles: u64,
+    ) -> EnergyEstimate {
         let seconds = cycles as f64 / cfg.clock_hz as f64;
         EnergyEstimate {
             compute_mj: macs as f64 * self.pj_per_mac * 1e-9,
@@ -87,7 +93,13 @@ impl EnergyModel {
     /// Extra energy of one interrupt: the bytes moved by backup + restore
     /// (no extra compute; the high task's own energy is its own business).
     #[must_use]
-    pub fn of_interrupt(&self, cfg: &AccelConfig, backup_bytes: u64, restore_bytes: u64, cost_cycles: u64) -> EnergyEstimate {
+    pub fn of_interrupt(
+        &self,
+        cfg: &AccelConfig,
+        backup_bytes: u64,
+        restore_bytes: u64,
+        cost_cycles: u64,
+    ) -> EnergyEstimate {
         self.estimate(cfg, 0, backup_bytes + restore_bytes, cost_cycles)
     }
 }

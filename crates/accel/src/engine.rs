@@ -25,6 +25,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use inca_isa::{Instr, Opcode, Program, TaskSlot, TASK_SLOTS};
+use inca_obs::{ascii, Metrics, TraceEvent, Tracer};
 
 use crate::{instr_cycles, AccelConfig, Backend, SimError};
 
@@ -268,33 +269,27 @@ impl Report {
 
     /// An ASCII Gantt chart of slot occupancy, `width` characters wide.
     /// Each row is one task slot; `#` marks cycles where the slot holds
-    /// the datapath.
+    /// the datapath. Rendering (and its interval clamping) lives in
+    /// `inca_obs::ascii`.
     #[must_use]
     pub fn gantt(&self, width: usize) -> String {
-        use std::fmt::Write as _;
         let width = width.max(10);
         let span = self.final_cycle.max(1);
-        let occupancy = self.occupancy();
-        let mut out = String::new();
-        for (i, intervals) in occupancy.iter().enumerate() {
-            let mut row = vec![b'.'; width];
-            for &(s, e) in intervals {
-                let a = (s as u128 * width as u128 / span as u128) as usize;
-                let b = (e as u128 * width as u128 / span as u128) as usize;
-                for c in row.iter_mut().take(b.max(a + 1).min(width)).skip(a.min(width - 1)) {
-                    *c = b'#';
-                }
-            }
-            let _ = writeln!(
-                out,
-                "slot{} |{}| {:>6} preemptions",
-                i,
-                String::from_utf8_lossy(&row),
-                self.interrupts.iter().filter(|ev| ev.victim.index() == i).count()
-            );
-        }
-        let _ = writeln!(out, "       0{:>w$}", format!("{} cycles", span), w = width);
-        out
+        let rows: Vec<ascii::TimelineRow> = self
+            .occupancy()
+            .iter()
+            .enumerate()
+            .map(|(i, intervals)| {
+                let preemptions =
+                    self.interrupts.iter().filter(|ev| ev.victim.index() == i).count();
+                ascii::TimelineRow::new(
+                    format!("slot{i}"),
+                    intervals.clone(),
+                    format!("{preemptions:>6} preemptions"),
+                )
+            })
+            .collect();
+        ascii::render(&rows, span, width)
     }
 }
 
@@ -344,6 +339,16 @@ impl ActiveJob {
     }
 }
 
+/// Cheap always-on event counters (plain `u64` adds on the hot path;
+/// the structured [`Metrics`] view is built on demand).
+#[derive(Debug, Default)]
+struct ObsCounters {
+    instrs_retired: u64,
+    vis_materialized: u64,
+    saves_patched: u64,
+    saves_elided: u64,
+}
+
 #[derive(Debug, Default)]
 struct Slot {
     program: Option<Arc<Program>>,
@@ -352,7 +357,6 @@ struct Slot {
     backlog: VecDeque<(u64, u64, u64)>,
     auto_resubmit: bool,
 }
-
 
 /// Applies the IAU's per-job `InputOffset`/`OutputOffset` registers to an
 /// instruction's DDR address: loads from the network-input region and
@@ -363,14 +367,10 @@ fn apply_job_offsets(program: &Program, in_off: u64, out_off: u64, instr: &mut I
     }
     let len = u64::from(instr.ddr.bytes);
     match instr.op {
-        Opcode::LoadD | Opcode::VirLoadD
-            if program.memory.in_input_region(instr.ddr.addr, len) =>
-        {
+        Opcode::LoadD | Opcode::VirLoadD if program.memory.in_input_region(instr.ddr.addr, len) => {
             instr.ddr.addr += in_off;
         }
-        Opcode::Save | Opcode::VirSave
-            if program.memory.in_output_region(instr.ddr.addr, len) =>
-        {
+        Opcode::Save | Opcode::VirSave if program.memory.in_output_region(instr.ddr.addr, len) => {
             instr.ddr.addr += out_off;
         }
         _ => {}
@@ -394,6 +394,8 @@ pub struct Engine<B: Backend> {
     interrupts: Vec<InterruptEvent>,
     completed: Vec<JobRecord>,
     profile: Option<Profile>,
+    tracer: Tracer,
+    counters: ObsCounters,
 }
 
 impl<B: Backend> Engine<B> {
@@ -414,7 +416,55 @@ impl<B: Backend> Engine<B> {
             interrupts: Vec::new(),
             completed: Vec::new(),
             profile: None,
+            tracer: Tracer::disabled(),
+            counters: ObsCounters::default(),
         }
+    }
+
+    /// Installs the tracer the engine emits [`TraceEvent`]s through. The
+    /// default is [`Tracer::disabled`], which costs one discriminant check
+    /// per emission site.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// A deterministic metrics snapshot of everything observed so far.
+    /// Keys are prefixed `engine.`; histograms use the fixed
+    /// `inca_obs::CYCLE_BUCKETS` ladder.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        m.inc("engine.cycles", self.now);
+        m.inc("engine.instrs.retired", self.counters.instrs_retired);
+        m.inc("engine.instrs.vi_materialized", self.counters.vis_materialized);
+        m.inc("engine.saves.patched", self.counters.saves_patched);
+        m.inc("engine.saves.elided", self.counters.saves_elided);
+        m.inc("engine.jobs.completed", self.completed.len() as u64);
+        m.inc(
+            "engine.jobs.preempted",
+            self.events.iter().filter(|e| matches!(e, Event::Preempted { .. })).count() as u64,
+        );
+        m.inc("engine.interrupts.probed", self.interrupts.len() as u64);
+        let mut busy = 0u64;
+        for j in &self.completed {
+            busy += j.busy_cycles;
+            m.observe("engine.job.response_cycles", j.response());
+            m.observe("engine.job.busy_cycles", j.busy_cycles);
+        }
+        for i in &self.interrupts {
+            m.observe("engine.interrupt.latency_cycles", i.latency());
+            m.observe("engine.interrupt.cost_cycles", i.cost());
+        }
+        if self.now > 0 {
+            m.set_gauge("engine.utilization", busy as f64 / self.now as f64);
+        }
+        m
     }
 
     /// Enables or disables per-layer/per-opcode cycle attribution (small
@@ -542,6 +592,7 @@ impl<B: Backend> Engine<B> {
                 st.backlog.push_back((t, in_off, out_off));
             }
             self.events.push(Event::Submitted { cycle: t, slot });
+            self.tracer.emit(|| TraceEvent::JobReleased { cycle: t, slot });
         }
     }
 
@@ -569,9 +620,11 @@ impl<B: Backend> Engine<B> {
         let pc = self.slots[slot.index()].job.as_ref().expect("job").pc;
         let mut instr = program.instrs[pc];
         let mut skip = false;
+        let mut patched = false;
         if instr.op == Opcode::Save {
             let job = self.slots[slot.index()].job.as_mut().expect("job");
             if let Some(&flushed_end) = job.flushed.get(&instr.save_id) {
+                patched = true;
                 let meta = program.layer_of(&instr);
                 let plane = u64::from(meta.out_shape.h) * u64::from(meta.out_shape.w);
                 let c0 = instr.tile.c0;
@@ -588,6 +641,14 @@ impl<B: Backend> Engine<B> {
                 }
                 job.flushed.remove(&instr.save_id);
             }
+        }
+        if patched {
+            self.counters.saves_patched += 1;
+            if skip {
+                self.counters.saves_elided += 1;
+            }
+            let (cycle, save_id, elided) = (self.now, instr.save_id, skip);
+            self.tracer.emit(|| TraceEvent::SavePatched { cycle, slot, save_id, elided });
         }
         {
             let job = self.slots[slot.index()].job.as_ref().expect("job");
@@ -609,7 +670,13 @@ impl<B: Backend> Engine<B> {
                 cycles -= hidden;
             }
         }
+        let start = self.now;
         self.now += cycles;
+        if !skip {
+            self.counters.instrs_retired += 1;
+            let (op, layer) = (instr.op, instr.layer);
+            self.tracer.emit(|| TraceEvent::InstrRetired { start, cycles, slot, op, layer });
+        }
         if let Some(p) = self.profile.as_mut() {
             p.charge(slot, &instr, cycles);
         }
@@ -632,12 +699,18 @@ impl<B: Backend> Engine<B> {
             preemptions: job.preemptions,
         });
         self.events.push(Event::Completed { cycle: self.now, slot });
+        {
+            let (cycle, busy_cycles, preemptions) = (self.now, job.busy_cycles, job.preemptions);
+            self.tracer.emit(|| TraceEvent::JobFinished { cycle, slot, busy_cycles, preemptions });
+        }
         if let Some((next, in_off, out_off)) = s.backlog.pop_front() {
             s.job = Some(ActiveJob::with_offsets(next, in_off, out_off));
         } else if s.auto_resubmit {
             // Auto-resubmission reuses the completed job's offsets.
             s.job = Some(ActiveJob::with_offsets(self.now, job.input_offset, job.output_offset));
             self.events.push(Event::Submitted { cycle: self.now, slot });
+            let cycle = self.now;
+            self.tracer.emit(|| TraceEvent::JobReleased { cycle, slot });
         }
         if self.running == Some(slot) {
             self.running = None;
@@ -652,8 +725,11 @@ impl<B: Backend> Engine<B> {
         if job.start.is_none() {
             job.start = Some(self.now);
             self.events.push(Event::Started { cycle: self.now, slot });
+            let cycle = self.now;
+            self.tracer.emit(|| TraceEvent::JobStarted { cycle, slot });
         }
         if job.preempted {
+            let restore_start = self.now;
             let mut t4 = 0u64;
             if job.needs_cpu_restore {
                 job.needs_cpu_restore = false;
@@ -671,6 +747,17 @@ impl<B: Backend> Engine<B> {
             for l in &loads {
                 self.backend.execute(slot, &program, l)?;
                 let c = instr_cycles(&self.cfg, program.layer_of(l), l);
+                self.counters.vis_materialized += 1;
+                {
+                    let (start, cycles, op, layer) = (restore_start + t4, c, l.op, l.layer);
+                    self.tracer.emit(|| TraceEvent::ViMaterialized {
+                        start,
+                        cycles,
+                        slot,
+                        op,
+                        layer,
+                    });
+                }
                 t4 += c;
                 if let Some(p) = self.profile.as_mut() {
                     p.charge(slot, l, c);
@@ -687,6 +774,7 @@ impl<B: Backend> Engine<B> {
                 self.interrupts[idx].resumed_at = Some(self.now);
             }
             self.events.push(Event::Resumed { cycle: self.now, slot });
+            self.tracer.emit(|| TraceEvent::Resumed { slot, restore_start, t4 });
         }
         self.running = Some(slot);
         Ok(())
@@ -699,10 +787,7 @@ impl<B: Backend> Engine<B> {
         let request_cycle =
             self.slots[winner.index()].job.as_ref().expect("winner has job").release;
         let request_pc = self.slots[victim.index()].job.as_ref().expect("victim job").pc as u32;
-        let request_layer = program
-            .instrs
-            .get(request_pc as usize)
-            .map_or(0, |i| i.layer);
+        let request_layer = program.instrs.get(request_pc as usize).map_or(0, |i| i.layer);
 
         let mut t2 = 0u64;
         let finished = match self.strategy {
@@ -765,8 +850,7 @@ impl<B: Backend> Engine<B> {
                         // t1: finish up to the point.
                         loop {
                             let at_point = {
-                                let job =
-                                    self.slots[victim.index()].job.as_ref().expect("job");
+                                let job = self.slots[victim.index()].job.as_ref().expect("job");
                                 job.pc >= p.vir_start as usize
                             };
                             if at_point {
@@ -778,12 +862,12 @@ impl<B: Backend> Engine<B> {
                         }
                         {
                             // t2: materialise the point's VIR_SAVEs.
+                            let t2_base = self.now;
                             let mut resume_loads = Vec::new();
                             for idx in p.vir_range() {
                                 let mut vi = program.instrs[idx];
                                 {
-                                    let job =
-                                        self.slots[victim.index()].job.as_ref().expect("job");
+                                    let job = self.slots[victim.index()].job.as_ref().expect("job");
                                     apply_job_offsets(
                                         &program,
                                         job.input_offset,
@@ -807,6 +891,18 @@ impl<B: Backend> Engine<B> {
                                         }
                                         self.backend.execute(victim, &program, &vi)?;
                                         let c = instr_cycles(&self.cfg, program.layer_of(&vi), &vi);
+                                        self.counters.vis_materialized += 1;
+                                        {
+                                            let (start, cycles, op, layer) =
+                                                (t2_base + t2, c, vi.op, vi.layer);
+                                            self.tracer.emit(|| TraceEvent::ViMaterialized {
+                                                start,
+                                                cycles,
+                                                slot: victim,
+                                                op,
+                                                layer,
+                                            });
+                                        }
                                         t2 += c;
                                         if let Some(p) = self.profile.as_mut() {
                                             p.charge(victim, &vi, c);
@@ -883,6 +979,10 @@ impl<B: Backend> Engine<B> {
             resumed_at: None,
         });
         self.events.push(Event::Preempted { cycle: self.now, slot: victim, by: winner });
+        {
+            let (layer, request) = (request_layer, request_cycle);
+            self.tracer.emit(|| TraceEvent::Preempted { victim, winner, layer, request, t1, t2 });
+        }
         self.running = None;
         Ok(())
     }
@@ -981,10 +1081,7 @@ mod tests {
     #[test]
     fn request_before_load_is_rejected() {
         let mut e = engine(InterruptStrategy::CpuLike);
-        assert!(matches!(
-            e.request_at(0, TaskSlot::new(1).unwrap()),
-            Err(SimError::EmptySlot(_))
-        ));
+        assert!(matches!(e.request_at(0, TaskSlot::new(1).unwrap()), Err(SimError::EmptySlot(_))));
     }
 
     #[test]
@@ -1115,19 +1212,11 @@ mod tests {
         // Per-slot totals equal busy + extra cycles of the jobs.
         for slot in [hi, lo] {
             let job = r.jobs_of(slot).next().unwrap();
-            assert_eq!(
-                p.slot_cycles(slot),
-                job.busy_cycles + job.extra_cost_cycles,
-                "{slot}"
-            );
+            assert_eq!(p.slot_cycles(slot), job.busy_cycles + job.extra_cost_cycles, "{slot}");
         }
         // Opcode breakdown sums to the same grand total.
         let grand: u64 = p.per_opcode.iter().sum();
-        let jobs: u64 = r
-            .completed_jobs
-            .iter()
-            .map(|j| j.busy_cycles + j.extra_cost_cycles)
-            .sum();
+        let jobs: u64 = r.completed_jobs.iter().map(|j| j.busy_cycles + j.extra_cost_cycles).sum();
         assert_eq!(grand, jobs);
         // The overhead counter equals the probes' t2+t4 sum (possibly 0
         // when the interrupt lands on an empty point).
@@ -1141,7 +1230,8 @@ mod tests {
         let run = |overlap: bool| {
             let mut cfg = AccelConfig::paper_big();
             cfg.dma_overlap = overlap;
-            let mut e = Engine::new(cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
+            let mut e =
+                Engine::new(cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
             let slot = TaskSlot::new(2).unwrap();
             e.load(slot, tiny_vi()).unwrap();
             e.request_at(0, slot).unwrap();

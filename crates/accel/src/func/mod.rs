@@ -96,10 +96,7 @@ impl DdrImage {
     /// Reads a layer's whole output feature map as int8.
     #[must_use]
     pub fn read_output(&self, meta: &LayerMeta) -> Vec<i8> {
-        self.read(meta.output_addr, meta.out_shape.bytes())
-            .iter()
-            .map(|&b| b as i8)
-            .collect()
+        self.read(meta.output_addr, meta.out_shape.bytes()).iter().map(|&b| b as i8).collect()
     }
 
     fn get(&self, slot: TaskSlot, addr: u64, len: u64) -> Result<&[u8], SimError> {
@@ -202,10 +199,7 @@ impl Plane {
             return None;
         }
         let slot = self.slot(a, b);
-        let loaded = self
-            .present
-            .get(slot / 64)
-            .is_some_and(|w| w & (1 << (slot % 64)) != 0);
+        let loaded = self.present.get(slot / 64).is_some_and(|w| w & (1 << (slot % 64)) != 0);
         loaded.then(|| &self.bytes[slot * self.len..][..self.len])
     }
 
@@ -421,11 +415,8 @@ impl FuncBackend {
     }
 
     fn blob_entry(&mut self, instr: &Instr, meta: &LayerMeta) -> usize {
-        if let Some(i) = self
-            .bufs
-            .outputs
-            .iter()
-            .position(|b| b.layer == instr.layer && b.blob == instr.blob)
+        if let Some(i) =
+            self.bufs.outputs.iter().position(|b| b.layer == instr.layer && b.blob == instr.blob)
         {
             return i;
         }

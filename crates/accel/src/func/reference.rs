@@ -21,11 +21,8 @@ pub(super) fn calc_scratch(
     meta: &LayerMeta,
 ) -> Result<Vec<i64>, SimError> {
     let t = instr.tile;
-    let (k, s, p) = (
-        i64::from(meta.kind.kernel()),
-        i64::from(meta.kind.stride()),
-        i64::from(meta.kind.pad()),
-    );
+    let (k, s, p) =
+        (i64::from(meta.kind.kernel()), i64::from(meta.kind.stride()), i64::from(meta.kind.pad()));
     let (h_in, w_in) = (i64::from(meta.in_shape.h), i64::from(meta.in_shape.w));
     let w_out = meta.out_shape.w;
     let layer = instr.layer;

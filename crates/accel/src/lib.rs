@@ -64,12 +64,12 @@ pub mod energy;
 pub mod resources;
 
 pub use backend::{Backend, SimError, TimingBackend};
-pub use multicore::{CoreId, CorePool};
 pub use config::AccelConfig;
 pub use cost::instr_cycles;
 pub use engine::{
     Engine, Event, InterruptEvent, InterruptStrategy, JobRecord, Profile, Report, TaskState,
 };
 pub use func::{CalcKernel, DdrImage, FuncBackend};
+pub use multicore::{CoreId, CorePool};
 
 pub use inca_isa::{ArchSpec, Parallelism, Program, TaskSlot};

@@ -125,10 +125,7 @@ impl<B: Backend> CorePool<B> {
             InterruptStrategy::NonPreemptive => cnn_accelerator(self.cfg.arch.parallelism),
             _ => cnn_accelerator(self.cfg.arch.parallelism) + iau(),
         };
-        self.cores
-            .iter()
-            .skip(1)
-            .fold(per_core, |acc, _| acc + per_core)
+        self.cores.iter().skip(1).fold(per_core, |acc, _| acc + per_core)
     }
 }
 
@@ -162,10 +159,7 @@ mod tests {
         let reports = pool.run().unwrap();
         assert_eq!(reports.len(), 2);
         // Both finish at the same (parallel) time — no serialisation.
-        assert_eq!(
-            reports[0].completed_jobs[0].finish,
-            reports[1].completed_jobs[0].finish
-        );
+        assert_eq!(reports[0].completed_jobs[0].finish, reports[1].completed_jobs[0].finish);
     }
 
     #[test]

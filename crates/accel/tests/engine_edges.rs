@@ -5,7 +5,8 @@
 use std::sync::Arc;
 
 use inca_accel::{
-    AccelConfig, DdrImage, Engine, FuncBackend, InterruptStrategy, TaskState, TimingBackend,
+    AccelConfig, DdrImage, Engine, Event, FuncBackend, InterruptStrategy, Report, TaskState,
+    TimingBackend,
 };
 use inca_compiler::Compiler;
 use inca_isa::{Program, TaskSlot};
@@ -29,11 +30,8 @@ fn higher_request_during_drain_wins_the_dispatch() {
     // drain runs, an even higher request (slot 1) arrives. After the
     // drain, slot 1 must run first.
     let mut e = engine(InterruptStrategy::LayerByLayer);
-    let (s1, s2, s3) = (
-        TaskSlot::new(1).unwrap(),
-        TaskSlot::new(2).unwrap(),
-        TaskSlot::new(3).unwrap(),
-    );
+    let (s1, s2, s3) =
+        (TaskSlot::new(1).unwrap(), TaskSlot::new(2).unwrap(), TaskSlot::new(3).unwrap());
     e.load(s1, program(16)).unwrap();
     e.load(s2, program(16)).unwrap();
     e.load(s3, program(64)).unwrap();
@@ -121,10 +119,8 @@ fn cpu_like_nested_snapshots_are_transparent() {
         zoo::tiny(Shape3::new(3, 24, 24)).unwrap(),
         zoo::tiny(Shape3::new(3, 16, 16)).unwrap(),
     ];
-    let programs: Vec<Arc<Program>> = nets
-        .iter()
-        .map(|n| Arc::new(compiler.compile(n).unwrap()))
-        .collect();
+    let programs: Vec<Arc<Program>> =
+        nets.iter().map(|n| Arc::new(compiler.compile(n).unwrap())).collect();
 
     // References (solo runs).
     let mut references = Vec::new();
@@ -136,19 +132,10 @@ fn cpu_like_nested_snapshots_are_transparent() {
         e.load(slot, Arc::clone(p)).unwrap();
         e.request_at(0, slot).unwrap();
         e.run().unwrap();
-        references.push(
-            e.backend()
-                .image(slot)
-                .unwrap()
-                .read_output(p.layers.last().unwrap()),
-        );
+        references.push(e.backend().image(slot).unwrap().read_output(p.layers.last().unwrap()));
     }
 
-    let slots = [
-        TaskSlot::new(3).unwrap(),
-        TaskSlot::new(2).unwrap(),
-        TaskSlot::new(1).unwrap(),
-    ];
+    let slots = [TaskSlot::new(3).unwrap(), TaskSlot::new(2).unwrap(), TaskSlot::new(1).unwrap()];
     let mut backend = FuncBackend::new();
     for ((slot, p), i) in slots.iter().zip(&programs).zip(0u64..) {
         backend.install_image(*slot, DdrImage::for_program(p, i));
@@ -166,11 +153,7 @@ fn cpu_like_nested_snapshots_are_transparent() {
     let r = e.run().unwrap();
     assert!(r.interrupts.len() >= 2, "expected nested preemptions");
     for ((slot, p), expected) in slots.iter().zip(&programs).zip(&references) {
-        let out = e
-            .backend()
-            .image(*slot)
-            .unwrap()
-            .read_output(p.layers.last().unwrap());
+        let out = e.backend().image(*slot).unwrap().read_output(p.layers.last().unwrap());
         assert_eq!(&out, expected, "{slot} corrupted by nested CPU-like switches");
     }
 }
@@ -224,10 +207,70 @@ fn request_after_completion_reruns_the_program() {
     let second = r.completed_jobs[1];
     assert_eq!(second.release, first_finish + 500);
     assert_eq!(
-        second.busy_cycles,
-        r.completed_jobs[0].busy_cycles,
+        second.busy_cycles, r.completed_jobs[0].busy_cycles,
         "re-runs execute the identical stream"
     );
+}
+
+#[test]
+fn gantt_zero_length_interval_at_final_cycle_paints_nothing() {
+    // A report snapshotted exactly when a job starts used to round the
+    // zero-length interval [final_cycle, final_cycle) onto the last
+    // column and paint a spurious `#`.
+    let slot = TaskSlot::new(2).unwrap();
+    let report = Report {
+        events: vec![Event::Submitted { cycle: 100, slot }, Event::Started { cycle: 100, slot }],
+        interrupts: vec![],
+        completed_jobs: vec![],
+        final_cycle: 100,
+        profile: None,
+    };
+    assert_eq!(report.occupancy()[slot.index()], vec![(100, 100)]);
+    let g = report.gantt(40);
+    let row = g.lines().nth(slot.index()).unwrap();
+    assert!(!row.contains('#'), "zero-length interval painted: {row}");
+}
+
+#[test]
+fn gantt_interval_past_final_cycle_paints_nothing() {
+    // Out-of-range intervals (a stale final_cycle below the event log's
+    // cycles) must clamp instead of painting the last column or slicing
+    // out of bounds.
+    let slot = TaskSlot::new(1).unwrap();
+    let report = Report {
+        events: vec![Event::Started { cycle: 150, slot }, Event::Completed { cycle: 300, slot }],
+        interrupts: vec![],
+        completed_jobs: vec![],
+        final_cycle: 100,
+        profile: None,
+    };
+    let g = report.gantt(40);
+    let row = g.lines().nth(slot.index()).unwrap();
+    assert!(!row.contains('#'), "out-of-range interval painted: {row}");
+}
+
+#[test]
+fn gantt_paints_last_column_only_for_real_occupancy() {
+    let busy = TaskSlot::new(0).unwrap();
+    let idle = TaskSlot::new(3).unwrap();
+    let report = Report {
+        events: vec![
+            Event::Started { cycle: 0, slot: busy },
+            Event::Completed { cycle: 100, slot: busy },
+            Event::Started { cycle: 100, slot: idle },
+        ],
+        interrupts: vec![],
+        completed_jobs: vec![],
+        final_cycle: 100,
+        profile: None,
+    };
+    let g = report.gantt(40);
+    let busy_row = g.lines().nth(busy.index()).unwrap();
+    let idle_row = g.lines().nth(idle.index()).unwrap();
+    // The full-span interval paints every cell including the last column;
+    // the zero-length one at the end paints none.
+    assert_eq!(busy_row.matches('#').count(), 40, "{busy_row}");
+    assert!(!idle_row.contains('#'), "{idle_row}");
 }
 
 #[test]

@@ -22,9 +22,7 @@ fn victim_net() -> inca_model::Network {
 }
 
 fn compile_vi() -> Program {
-    Compiler::new(AccelConfig::paper_small().arch)
-        .compile_vi(&victim_net())
-        .unwrap()
+    Compiler::new(AccelConfig::paper_small().arch).compile_vi(&victim_net()).unwrap()
 }
 
 fn hi_program() -> Program {
@@ -69,30 +67,21 @@ fn run_interrupted(victim: &Program, request: u64) -> Result<Vec<i8>, SimError> 
     let mut backend = FuncBackend::new();
     backend.install_image(lo, DdrImage::for_program(victim, 11));
     backend.install_image(hi, DdrImage::for_program(&hi_prog, 12));
-    let mut e = Engine::new(
-        AccelConfig::paper_small(),
-        InterruptStrategy::VirtualInstruction,
-        backend,
-    );
+    let mut e =
+        Engine::new(AccelConfig::paper_small(), InterruptStrategy::VirtualInstruction, backend);
     e.load(lo, victim.clone()).unwrap();
     e.load(hi, hi_prog).unwrap();
     e.request_at(0, lo).unwrap();
     e.request_at(request, hi).unwrap();
     e.run()?;
-    Ok(e.backend()
-        .image(lo)
-        .unwrap()
-        .read_output(victim.layers.last().unwrap()))
+    Ok(e.backend().image(lo).unwrap().read_output(victim.layers.last().unwrap()))
 }
 
 #[test]
 fn missing_vir_load_d_is_caught() {
     let good = compile_vi();
     let broken = rebuild(&good, |i| (i.op != Opcode::VirLoadD).then_some(*i));
-    assert!(
-        broken.instrs.len() < good.instrs.len(),
-        "expected VIR_LOAD_Ds to exist"
-    );
+    assert!(broken.instrs.len() < good.instrs.len(), "expected VIR_LOAD_Ds to exist");
     let span = span_of(&good);
     let mut caught = false;
     for k in 1..20 {
@@ -175,11 +164,12 @@ fn interrupt_point_after_calc_i_corrupts_or_errors() {
     // Request early so the drain lands on the injected point.
     let outcome = run_interrupted(&broken, 1);
     match outcome {
-        Err(SimError::MissingData { .. } | SimError::MissingOutput { .. } | SimError::MissingWeights { .. }) => {}
-        Ok(out) => assert_ne!(
-            out, reference,
-            "interrupting after CALC_I must not be transparent"
-        ),
+        Err(
+            SimError::MissingData { .. }
+            | SimError::MissingOutput { .. }
+            | SimError::MissingWeights { .. },
+        ) => {}
+        Ok(out) => assert_ne!(out, reference, "interrupting after CALC_I must not be transparent"),
         Err(other) => panic!("unexpected error {other}"),
     }
 }

@@ -25,11 +25,8 @@ fn reference(program: &Program, input: &[u8]) -> Vec<u8> {
     let mut img = DdrImage::for_program(program, 77);
     img.write(program.memory.input_base, input);
     backend.install_image(slot, img);
-    let mut e = Engine::new(
-        AccelConfig::paper_small(),
-        InterruptStrategy::VirtualInstruction,
-        backend,
-    );
+    let mut e =
+        Engine::new(AccelConfig::paper_small(), InterruptStrategy::VirtualInstruction, backend);
     e.load(slot, program.clone()).unwrap();
     e.request_at(0, slot).unwrap();
     e.run().unwrap();
@@ -70,11 +67,8 @@ fn offsets_double_buffer_frames() {
     img.write(m.input_base + in_off, &frame_b);
     backend.install_image(slot, img);
 
-    let mut e = Engine::new(
-        AccelConfig::paper_small(),
-        InterruptStrategy::VirtualInstruction,
-        backend,
-    );
+    let mut e =
+        Engine::new(AccelConfig::paper_small(), InterruptStrategy::VirtualInstruction, backend);
     e.load(slot, program.clone()).unwrap();
     // Job 1: frame A at base offsets; job 2: frame B via the registers.
     e.request_job(0, slot, 0, 0).unwrap();
@@ -118,11 +112,8 @@ fn offsets_survive_preemption() {
     backend.install_image(lo, img);
     backend.install_image(hi, DdrImage::for_program(&hi_prog, 3));
 
-    let mut e = Engine::new(
-        AccelConfig::paper_small(),
-        InterruptStrategy::VirtualInstruction,
-        backend,
-    );
+    let mut e =
+        Engine::new(AccelConfig::paper_small(), InterruptStrategy::VirtualInstruction, backend);
     e.load(lo, program.clone()).unwrap();
     e.load(hi, hi_prog).unwrap();
     e.request_job(0, lo, in_off, out_off).unwrap();

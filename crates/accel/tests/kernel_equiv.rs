@@ -19,8 +19,8 @@
 use inca_accel::{AccelConfig, Backend, CalcKernel, DdrImage, FuncBackend};
 use inca_compiler::Compiler;
 use inca_isa::{
-    DdrRange, Instr, LayerKind, LayerMeta, MemoryMap, Opcode, PoolKind, Program, Shape3,
-    TaskSlot, Tile,
+    DdrRange, Instr, LayerKind, LayerMeta, MemoryMap, Opcode, PoolKind, Program, Shape3, TaskSlot,
+    Tile,
 };
 use inca_model::zoo;
 use proptest::prelude::*;
@@ -269,11 +269,9 @@ fn full_networks_match_reference_kernel_at_all_thread_counts() {
             program.layers.iter().map(|m| img.read_output(m)).collect()
         };
         let want = run_net(FuncBackend::with_kernel(CalcKernel::Reference));
-        for backend in [
-            FuncBackend::with_threads(1),
-            FuncBackend::with_threads(2),
-            FuncBackend::new(),
-        ] {
+        for backend in
+            [FuncBackend::with_threads(1), FuncBackend::with_threads(2), FuncBackend::new()]
+        {
             let threads = backend.threads();
             let got = run_net(backend);
             for (l, (a, b)) in got.iter().zip(want.iter()).enumerate() {

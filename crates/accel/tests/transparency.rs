@@ -6,9 +6,7 @@
 //! A straight-line golden reference executor (no tiling, no instructions)
 //! provides ground truth for the uninterrupted result.
 
-use inca_accel::{
-    AccelConfig, DdrImage, Engine, FuncBackend, InterruptStrategy, TimingBackend,
-};
+use inca_accel::{AccelConfig, DdrImage, Engine, FuncBackend, InterruptStrategy, TimingBackend};
 use inca_compiler::Compiler;
 use inca_isa::{LayerKind, LayerMeta, PoolKind, Program, TaskSlot};
 use inca_model::{zoo, Shape3};
@@ -23,11 +21,7 @@ fn reference_run(program: &Program, image: &mut DdrImage) {
 }
 
 fn read_plane(image: &DdrImage, addr: u64, c: u32, h: u32, w: u32) -> Vec<i8> {
-    image
-        .read(addr, u64::from(c) * u64::from(h) * u64::from(w))
-        .iter()
-        .map(|&b| b as i8)
-        .collect()
+    image.read(addr, u64::from(c) * u64::from(h) * u64::from(w)).iter().map(|&b| b as i8).collect()
 }
 
 fn finalize(acc: i64, shift: u8, relu: bool) -> i8 {
@@ -66,15 +60,19 @@ fn reference_layer(meta: &LayerMeta, image: &DdrImage) -> Vec<i8> {
                         for ic in 0..ci {
                             for ky in 0..k {
                                 for kx in 0..k {
-                                    let wv = weights[(((u64::from(oc) * u64::from(ci)
-                                        + u64::from(ic))
-                                        * k as u64
-                                        + ky as u64)
-                                        * k as u64
-                                        + kx as u64)
-                                        as usize] as i8;
+                                    let wv =
+                                        weights[(((u64::from(oc) * u64::from(ci) + u64::from(ic))
+                                            * k as u64
+                                            + ky as u64)
+                                            * k as u64
+                                            + kx as u64)
+                                            as usize] as i8;
                                     acc += i64::from(wv)
-                                        * at(ic, i64::from(y) * s - p + ky, i64::from(x) * s - p + kx);
+                                        * at(
+                                            ic,
+                                            i64::from(y) * s - p + ky,
+                                            i64::from(x) * s - p + kx,
+                                        );
                                 }
                             }
                         }
@@ -91,9 +89,9 @@ fn reference_layer(meta: &LayerMeta, image: &DdrImage) -> Vec<i8> {
                         let mut acc = 0i64;
                         for ky in 0..k {
                             for kx in 0..k {
-                                let wv = weights
-                                    [((u64::from(c) * k as u64 + ky as u64) * k as u64 + kx as u64)
-                                        as usize] as i8;
+                                let wv = weights[((u64::from(c) * k as u64 + ky as u64) * k as u64
+                                    + kx as u64)
+                                    as usize] as i8;
                                 acc += i64::from(wv)
                                     * at(c, i64::from(y) * s - p + ky, i64::from(x) * s - p + kx);
                             }
@@ -174,11 +172,8 @@ fn reference_layer(meta: &LayerMeta, image: &DdrImage) -> Vec<i8> {
         LayerKind::Add => {
             let b = read_plane(image, meta.input2_addr.expect("add input2"), ci, hi, wi);
             for i in 0..out.len() {
-                out[i] = finalize(
-                    i64::from(input[i]) + i64::from(b[i]),
-                    meta.quant_shift,
-                    meta.relu,
-                );
+                out[i] =
+                    finalize(i64::from(input[i]) + i64::from(b[i]), meta.quant_shift, meta.relu);
             }
         }
         LayerKind::FullyConnected => {
@@ -186,7 +181,8 @@ fn reference_layer(meta: &LayerMeta, image: &DdrImage) -> Vec<i8> {
             for oc in 0..co {
                 let mut acc = 0i64;
                 for ic in 0..ci {
-                    let wv = weights[(u64::from(oc) * u64::from(ci) + u64::from(ic)) as usize] as i8;
+                    let wv =
+                        weights[(u64::from(oc) * u64::from(ci) + u64::from(ic)) as usize] as i8;
                     acc += i64::from(wv) * i64::from(input[ic as usize]);
                 }
                 out[oidx(oc, 0, 0)] = finalize(acc, meta.quant_shift, meta.relu);
@@ -224,11 +220,8 @@ fn run_uninterrupted(program: &Program, seed: u64) -> Vec<Vec<i8>> {
 fn run_uninterrupted_with(mut backend: FuncBackend, program: &Program, seed: u64) -> Vec<Vec<i8>> {
     let slot = TaskSlot::new(3).unwrap();
     backend.install_image(slot, image_with_input(program, seed));
-    let mut e = Engine::new(
-        AccelConfig::paper_small(),
-        InterruptStrategy::VirtualInstruction,
-        backend,
-    );
+    let mut e =
+        Engine::new(AccelConfig::paper_small(), InterruptStrategy::VirtualInstruction, backend);
     e.load(slot, program.clone()).unwrap();
     e.request_at(0, slot).unwrap();
     e.run().unwrap();
@@ -306,10 +299,7 @@ fn run_interrupted_with(
     e.request_at(request_cycle, hi).unwrap();
     let report = e.run().unwrap();
     assert_eq!(report.completed_jobs.len(), 2);
-    (
-        all_outputs(lo_program, e.backend().image(lo).unwrap()),
-        report.interrupts.len(),
-    )
+    (all_outputs(lo_program, e.backend().image(lo).unwrap()), report.interrupts.len())
 }
 
 #[test]
@@ -344,8 +334,7 @@ fn interrupt_transparency_across_strategies_and_positions() {
             (InterruptStrategy::LayerByLayer, &lo_orig),
             (InterruptStrategy::CpuLike, &lo_orig),
         ] {
-            let (outputs, preemptions) =
-                run_interrupted(strategy, lo_prog, &hi_vi, request, 42);
+            let (outputs, preemptions) = run_interrupted(strategy, lo_prog, &hi_vi, request, 42);
             total_preemptions += preemptions;
             for (l, (a, b)) in outputs.iter().zip(expected.iter()).enumerate() {
                 assert_eq!(
@@ -378,11 +367,8 @@ fn save_patching_writes_no_byte_twice() {
     let baseline = {
         let mut backend = FuncBackend::new();
         backend.install_image(lo, image_with_input(&lo_prog, 21));
-        let mut e = Engine::new(
-            AccelConfig::paper_small(),
-            InterruptStrategy::VirtualInstruction,
-            backend,
-        );
+        let mut e =
+            Engine::new(AccelConfig::paper_small(), InterruptStrategy::VirtualInstruction, backend);
         e.load(lo, lo_prog.clone()).unwrap();
         e.request_at(0, lo).unwrap();
         e.run().unwrap();
@@ -396,11 +382,8 @@ fn save_patching_writes_no_byte_twice() {
         let mut backend = FuncBackend::new();
         backend.install_image(lo, image_with_input(&lo_prog, 21));
         backend.install_image(hi, image_with_input(&hi_prog, 22));
-        let mut e = Engine::new(
-            AccelConfig::paper_small(),
-            InterruptStrategy::VirtualInstruction,
-            backend,
-        );
+        let mut e =
+            Engine::new(AccelConfig::paper_small(), InterruptStrategy::VirtualInstruction, backend);
         e.load(lo, lo_prog.clone()).unwrap();
         e.load(hi, hi_prog.clone()).unwrap();
         e.request_at(0, lo).unwrap();
@@ -431,20 +414,14 @@ fn nested_preemption_is_transparent() {
     let exp2 = run_uninterrupted(&p2, 8);
     let exp1 = run_uninterrupted(&p1, 9);
 
-    let (s1, s2, s3) = (
-        TaskSlot::new(1).unwrap(),
-        TaskSlot::new(2).unwrap(),
-        TaskSlot::new(3).unwrap(),
-    );
+    let (s1, s2, s3) =
+        (TaskSlot::new(1).unwrap(), TaskSlot::new(2).unwrap(), TaskSlot::new(3).unwrap());
     let mut backend = FuncBackend::new();
     backend.install_image(s3, image_with_input(&p3, 7));
     backend.install_image(s2, image_with_input(&p2, 8));
     backend.install_image(s1, image_with_input(&p1, 9));
-    let mut e = Engine::new(
-        AccelConfig::paper_small(),
-        InterruptStrategy::VirtualInstruction,
-        backend,
-    );
+    let mut e =
+        Engine::new(AccelConfig::paper_small(), InterruptStrategy::VirtualInstruction, backend);
     e.load(s3, p3.clone()).unwrap();
     e.load(s2, p2.clone()).unwrap();
     e.load(s1, p1.clone()).unwrap();

@@ -28,7 +28,11 @@ fn bench_compiler(c: &mut Criterion) {
 
     let original = compiler.compile(&resnet).unwrap();
     g.bench_function("vi_pass_resnet18_96", |b| {
-        b.iter(|| black_box(vi::vi_pass(black_box(&original), compiler.arch(), compiler.options()).unwrap()))
+        b.iter(|| {
+            black_box(
+                vi::vi_pass(black_box(&original), compiler.arch(), compiler.options()).unwrap(),
+            )
+        })
     });
     g.finish();
 }

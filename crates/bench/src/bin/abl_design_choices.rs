@@ -52,17 +52,9 @@ fn main() {
     );
     for group in [1u16, 2, 4, 8, 16] {
         let w = workload_with(&cfg, CompileOptions::default().with_max_blobs_per_save(group));
-        let saves = w
-            .vi
-            .instrs
-            .iter()
-            .filter(|i| i.op == inca_isa::Opcode::Save)
-            .count();
+        let saves = w.vi.instrs.iter().filter(|i| i.op == inca_isa::Opcode::Save).count();
         let (lat, t2, t4) = probe_stats(&cfg, &w);
-        println!(
-            "{group:>6} {:>10} {saves:>10} {lat:>12.1} {t2:>12.1} {t4:>12.1}",
-            w.vi.len()
-        );
+        println!("{group:>6} {:>10} {saves:>10} {lat:>12.1} {t2:>12.1} {t4:>12.1}", w.vi.len());
     }
 
     println!("\nablation 2: loop order (same network)\n");
@@ -70,7 +62,9 @@ fn main() {
         "{:>14} {:>10} {:>12} {:>12} {:>12} {:>14}",
         "order", "instrs", "latency(us)", "t2(us)", "t4(us)", "ddr traffic MB"
     );
-    for (name, order) in [("height-outer", LoopOrder::HeightOuter), ("channel-outer", LoopOrder::ChannelOuter)] {
+    for (name, order) in
+        [("height-outer", LoopOrder::HeightOuter), ("channel-outer", LoopOrder::ChannelOuter)]
+    {
         let w = workload_with(&cfg, CompileOptions::default().with_loop_order(order));
         let (lat, t2, t4) = probe_stats(&cfg, &w);
         println!(

@@ -11,9 +11,13 @@
 //! `--csv DIR` to dump per-agent trajectories (one `agentN.csv` each: frame,
 //! time, truth and estimated pose) plus the world landmarks
 //! (`landmarks.csv`) for external plotting of the paper's Fig. "env".
+//! Pass `--json` to emit a single machine-readable metrics-snapshot line
+//! (`inca-obs/metrics-v1`, the schema shared by all bench bins) instead of
+//! the human-readable tables.
 
 use inca_dslam::mission::{Mission, MissionConfig, MissionOutcome};
 use inca_dslam::World;
+use inca_obs::MetricsSnapshot;
 use std::io::Write as _;
 use std::path::Path;
 
@@ -26,8 +30,14 @@ fn dump_csv(dir: &Path, world: &World, outcome: &MissionOutcome) -> std::io::Res
             writeln!(
                 f,
                 "{},{:.4},{:.4},{:.4},{:.5},{:.4},{:.4},{:.5}",
-                s.frame, s.time_s, s.truth.t.x, s.truth.t.y, s.truth.theta,
-                s.estimate.t.x, s.estimate.t.y, s.estimate.theta
+                s.frame,
+                s.time_s,
+                s.truth.t.x,
+                s.truth.t.y,
+                s.truth.theta,
+                s.estimate.t.x,
+                s.estimate.t.y,
+                s.estimate.theta
             )?;
         }
     }
@@ -52,9 +62,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    let json = args.iter().any(|a| a == "--json");
 
     let cfg = MissionConfig { duration_s: seconds, ..MissionConfig::default() };
     let accel = cfg.accel;
+
+    if json {
+        let mission = Mission::new(cfg)?;
+        let (outcome, trace) = mission.run_traced(0)?;
+        let mut m = trace.metrics();
+        for (i, a) in outcome.agents.iter().enumerate() {
+            m.set_gauge(&format!("agent{i}.frames_per_pr"), a.frames_per_pr());
+            m.set_gauge(&format!("agent{i}.ate_m"), a.map.ate());
+            m.inc(&format!("agent{i}.preemptions"), a.interrupts.len() as u64);
+        }
+        m.inc("mission.merged", u64::from(outcome.merge.is_some()));
+        if let Some(mg) = &outcome.merge {
+            m.set_gauge("mission.merge.similarity", f64::from(mg.similarity));
+            m.set_gauge("mission.merge.rmse_m", mg.alignment_rmse_m);
+        }
+        println!("{}", MetricsSnapshot::new("fig_dslam_mission", m).to_json());
+        return Ok(());
+    }
+
     println!(
         "E8: DSLAM mission — {seconds} s, FE {} / PR {} on one {} accelerator per agent\n",
         cfg.fe_input, cfg.pr_input, accel.arch.parallelism

@@ -45,8 +45,14 @@ fn main() {
             let mut vi = Vec::new();
             for &p in &positions {
                 lbl.push(
-                    probe_interrupt(&cfg, InterruptStrategy::LayerByLayer, &workload, &requester, p)
-                        .latency(),
+                    probe_interrupt(
+                        &cfg,
+                        InterruptStrategy::LayerByLayer,
+                        &workload,
+                        &requester,
+                        p,
+                    )
+                    .latency(),
                 );
                 vi.push(
                     probe_interrupt(

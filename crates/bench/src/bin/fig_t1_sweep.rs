@@ -26,10 +26,7 @@ fn main() {
         cfg.cycles_to_ms(span)
     );
 
-    println!(
-        "{:>9} {:>14} {:>12} {:>9}",
-        "pos(%)", "t1 lbl (us)", "t1 vi (us)", "ratio"
-    );
+    println!("{:>9} {:>14} {:>12} {:>9}", "pos(%)", "t1 lbl (us)", "t1 vi (us)", "ratio");
     let n = 24;
     let mut sum_lbl = 0u64;
     let mut sum_vi = 0u64;

@@ -3,8 +3,9 @@
 //! Pushes one SuperPoint-backbone frame and one ResNet-18 basic block
 //! through `FuncBackend` under three kernel configurations — the retained
 //! naive reference kernel, the fast kernel at 1 thread, and the fast
-//! kernel at the default thread count — and prints one JSON line with
-//! MACs/s per configuration plus the speedups over the reference.
+//! kernel at the default thread count — and prints one metrics-snapshot
+//! JSON line (`inca-obs/metrics-v1`, the schema shared by all bench bins)
+//! with MACs/s per configuration plus the speedups over the reference.
 //!
 //! Run with `cargo run --release -p inca-bench --bin perf_smoke`; numbers
 //! are tracked in EXPERIMENTS.md ("Functional backend fast path").
@@ -14,6 +15,7 @@ use std::time::Instant;
 use inca_accel::{AccelConfig, Backend, CalcKernel, DdrImage, FuncBackend, Program, TaskSlot};
 use inca_compiler::Compiler;
 use inca_model::{zoo, Network, NetworkBuilder, Shape3};
+use inca_obs::{Metrics, MetricsSnapshot};
 
 /// One ResNet-18 basic block (two 3×3/64 convs with an identity shortcut)
 /// at the 28×28 stage resolution.
@@ -56,33 +58,20 @@ fn main() {
     ];
     let threads = FuncBackend::new().threads();
 
-    let mut entries = Vec::new();
+    let mut m = Metrics::new();
+    m.inc("threads", threads as u64);
     for (net, name) in &workloads {
         let program = compiler.compile_vi(net).unwrap();
         let macs = net.total_macs() as f64;
         let t_ref = measure(FuncBackend::with_kernel(CalcKernel::Reference), &program, 1);
         let t_fast1 = measure(FuncBackend::with_threads(1), &program, 3);
         let t_fastn = measure(FuncBackend::new(), &program, 3);
-        entries.push(format!(
-            concat!(
-                "{{\"workload\":\"{}\",\"macs\":{},",
-                "\"reference_macs_per_s\":{:.3e},",
-                "\"fast_1t_macs_per_s\":{:.3e},",
-                "\"fast_default_macs_per_s\":{:.3e},",
-                "\"speedup_1t\":{:.2},\"speedup_default\":{:.2}}}"
-            ),
-            name,
-            macs as u64,
-            macs / t_ref,
-            macs / t_fast1,
-            macs / t_fastn,
-            t_ref / t_fast1,
-            t_ref / t_fastn,
-        ));
+        m.inc(&format!("{name}.macs"), macs as u64);
+        m.set_gauge(&format!("{name}.reference_macs_per_s"), macs / t_ref);
+        m.set_gauge(&format!("{name}.fast_1t_macs_per_s"), macs / t_fast1);
+        m.set_gauge(&format!("{name}.fast_default_macs_per_s"), macs / t_fastn);
+        m.set_gauge(&format!("{name}.speedup_1t"), t_ref / t_fast1);
+        m.set_gauge(&format!("{name}.speedup_default"), t_ref / t_fastn);
     }
-    println!(
-        "{{\"bench\":\"perf_smoke\",\"threads\":{},\"workloads\":[{}]}}",
-        threads,
-        entries.join(",")
-    );
+    println!("{}", MetricsSnapshot::new("perf_smoke", m).to_json());
 }

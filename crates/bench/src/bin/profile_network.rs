@@ -5,11 +5,16 @@
 //! ```sh
 //! cargo run --release -p inca-bench --bin profile_network -- resnet101
 //! ```
+//!
+//! Pass `--json` to emit a single machine-readable metrics-snapshot line
+//! (`inca-obs/metrics-v1`, the schema shared by all bench bins) instead of
+//! the human-readable report.
 
 use inca_accel::{AccelConfig, Engine, InterruptStrategy, TimingBackend};
 use inca_bench::{Workload, CAMERA};
 use inca_isa::{Opcode, TaskSlot};
 use inca_model::{zoo, Network, Shape3};
+use inca_obs::MetricsSnapshot;
 
 fn pick(name: &str) -> Network {
     match name {
@@ -27,7 +32,14 @@ fn pick(name: &str) -> Network {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "resnet101".into());
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let name = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "resnet101".into());
     let cfg = AccelConfig::paper_big();
     let net = pick(&name);
     let workload = Workload::compile(&cfg, &net);
@@ -40,6 +52,29 @@ fn main() {
     let report = engine.run().expect("run");
     let profile = report.profile.as_ref().expect("profiling on");
     let total = report.final_cycle;
+
+    let calc: u64 = Opcode::ALL
+        .iter()
+        .zip(profile.per_opcode.iter())
+        .filter(|(op, _)| op.is_calc())
+        .map(|(_, c)| *c)
+        .sum();
+    let macs_per_s = net.total_macs() as f64 / (total as f64 / cfg.clock_hz as f64);
+
+    if json {
+        let mut m = engine.metrics();
+        for (op, cycles) in Opcode::ALL.iter().zip(profile.per_opcode.iter()) {
+            if *cycles > 0 {
+                m.inc(&format!("profile.opcode.{}.cycles", op.mnemonic()), *cycles);
+            }
+        }
+        m.inc("profile.macs", net.total_macs());
+        m.set_gauge("profile.calc_occupancy", calc as f64 / total as f64);
+        m.set_gauge("profile.gmacs_per_s", macs_per_s / 1e9);
+        m.set_gauge("profile.total_ms", cfg.cycles_to_ms(total));
+        println!("{}", MetricsSnapshot::new(format!("profile_network/{}", net.name), m).to_json());
+        return;
+    }
 
     println!(
         "profile of `{}` at {} ({:.2} GMACs): {:.2} ms total\n",
@@ -63,19 +98,13 @@ fn main() {
     }
 
     // Utilisation: CALC cycles vs wall clock.
-    let calc: u64 = Opcode::ALL
-        .iter()
-        .zip(profile.per_opcode.iter())
-        .filter(|(op, _)| op.is_calc())
-        .map(|(_, c)| *c)
-        .sum();
     println!(
         "\ncompute-array occupancy: {:.1}% of wall-clock cycles are CALC",
         100.0 * calc as f64 / total as f64
     );
     println!(
         "effective MAC rate: {:.2} GMAC/s of the array's {:.2} GMAC/s peak\n",
-        net.total_macs() as f64 / (total as f64 / cfg.clock_hz as f64) / 1e9,
+        macs_per_s / 1e9,
         f64::from(cfg.arch.parallelism.pe_count())
             * f64::from(cfg.convolver_kernel as u32 * cfg.convolver_kernel as u32)
             * cfg.clock_hz as f64

@@ -22,11 +22,56 @@ struct Row {
 }
 
 const ROWS: [Row; 5] = [
-    Row { h: 480, w: 640, cin: 3, cout: 64, k: 7, stride: 2, paper_backup_us: 26.29, paper_conv_us: 52.38 },
-    Row { h: 120, w: 160, cin: 128, cout: 128, k: 3, stride: 1, paper_backup_us: 8.77, paper_conv_us: 41.18 },
-    Row { h: 30, w: 40, cin: 1024, cout: 2048, k: 1, stride: 1, paper_backup_us: 1.25, paper_conv_us: 8.75 },
-    Row { h: 30, w: 40, cin: 512, cout: 512, k: 3, stride: 1, paper_backup_us: 1.42, paper_conv_us: 39.36 },
-    Row { h: 16, w: 20, cin: 512, cout: 512, k: 3, stride: 1, paper_backup_us: 0.75, paper_conv_us: 20.16 },
+    Row {
+        h: 480,
+        w: 640,
+        cin: 3,
+        cout: 64,
+        k: 7,
+        stride: 2,
+        paper_backup_us: 26.29,
+        paper_conv_us: 52.38,
+    },
+    Row {
+        h: 120,
+        w: 160,
+        cin: 128,
+        cout: 128,
+        k: 3,
+        stride: 1,
+        paper_backup_us: 8.77,
+        paper_conv_us: 41.18,
+    },
+    Row {
+        h: 30,
+        w: 40,
+        cin: 1024,
+        cout: 2048,
+        k: 1,
+        stride: 1,
+        paper_backup_us: 1.25,
+        paper_conv_us: 8.75,
+    },
+    Row {
+        h: 30,
+        w: 40,
+        cin: 512,
+        cout: 512,
+        k: 3,
+        stride: 1,
+        paper_backup_us: 1.42,
+        paper_conv_us: 39.36,
+    },
+    Row {
+        h: 16,
+        w: 20,
+        cin: 512,
+        cout: 512,
+        k: 3,
+        stride: 1,
+        paper_backup_us: 0.75,
+        paper_conv_us: 20.16,
+    },
 ];
 
 fn main() {
@@ -71,13 +116,8 @@ fn main() {
 
         // Engine-measured t2: request very early so the drain lands on the
         // first interrupt point (after the first CALC_F, one unsaved blob).
-        let ev = probe_interrupt(
-            &cfg,
-            InterruptStrategy::VirtualInstruction,
-            &workload,
-            &requester,
-            1,
-        );
+        let ev =
+            probe_interrupt(&cfg, InterruptStrategy::VirtualInstruction, &workload, &requester, 1);
 
         let (bkp, conv) = (cfg.cycles_to_us(backup_cycles), cfg.cycles_to_us(conv_cycles));
         print_row(
@@ -90,10 +130,7 @@ fn main() {
                 format!("{:.2}", r.paper_conv_us),
                 format!("{conv:.2}"),
                 format!("{:.1}%", 100.0 * bkp / conv),
-                format!(
-                    "{:.1}%",
-                    100.0 * r.paper_backup_us / r.paper_conv_us
-                ),
+                format!("{:.1}%", 100.0 * r.paper_backup_us / r.paper_conv_us),
             ],
             &widths,
         );

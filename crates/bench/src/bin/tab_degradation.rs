@@ -8,7 +8,6 @@
 //! beyond PR's own compute: `Σ(t2 + t4) / PR busy cycles`. The makespan
 //! view (PR response minus FE service minus PR compute) is printed too.
 
-
 use inca_accel::{AccelConfig, Engine, InterruptStrategy, TimingBackend};
 use inca_bench::{makespan, Workload, CAMERA};
 use inca_isa::{Shape3, TaskSlot};
@@ -29,10 +28,7 @@ fn main() {
     println!("PR (GeM/ResNet101) solo: {:>5.2} ms", cfg.cycles_to_ms(pr_solo));
 
     let period = cfg.us_to_cycles(50_000.0);
-    println!(
-        "FE duty cycle at 20 fps: {:.0}%\n",
-        100.0 * fe_solo as f64 / period as f64
-    );
+    println!("FE duty cycle at 20 fps: {:.0}%\n", 100.0 * fe_solo as f64 / period as f64);
 
     println!(
         "{:<20} {:>10} {:>12} {:>12} {:>12} {:>12}",
@@ -55,11 +51,8 @@ fn main() {
         }
         let report = engine.run().expect("run");
         let pr_job = *report.jobs_of(lo).next().expect("PR completed");
-        let fe_busy_in_window: u64 = report
-            .jobs_of(hi)
-            .filter(|j| j.release < pr_job.finish)
-            .map(|j| j.busy_cycles)
-            .sum();
+        let fe_busy_in_window: u64 =
+            report.jobs_of(hi).filter(|j| j.release < pr_job.finish).map(|j| j.busy_cycles).sum();
         let degrade = 100.0 * pr_job.extra_cost_cycles as f64 / pr_job.busy_cycles as f64;
         let makespan_ovh = 100.0
             * (pr_job.response() as f64 - fe_busy_in_window as f64 - pr_job.busy_cycles as f64)

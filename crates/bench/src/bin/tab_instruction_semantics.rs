@@ -42,12 +42,7 @@ fn main() {
         "Final results",
         "Weight / Inputdata",
     );
-    row(
-        "SAVE",
-        "Save the results from on-chip data buffer to DDR.",
-        "-",
-        "Weight / Inputdata",
-    );
+    row("SAVE", "Save the results from on-chip data buffer to DDR.", "-", "Weight / Inputdata");
 
     // Measured: why interrupting after CALC_F / SAVE is the cheap choice —
     // count the hypothetical backup bytes at each instruction kind of a
@@ -56,11 +51,7 @@ fn main() {
     let cfg = AccelConfig::paper_big();
     let net = zoo::resnet101(CAMERA).expect("resnet101");
     let program = Compiler::new(cfg.arch).compile(&net).expect("compile");
-    let meta = program
-        .layers
-        .iter()
-        .find(|m| m.name == "res3b0_2b")
-        .expect("layer exists");
+    let meta = program.layers.iter().find(|m| m.name == "res3b0_2b").expect("layer exists");
     let range = program.layer_pc_range(meta.id);
     let p = cfg.arch.parallelism;
     let tile_rows = u64::from(p.height);
@@ -83,12 +74,7 @@ fn main() {
             Opcode::CalcF => final_blob,
             _ => 0,
         };
-        println!(
-            "  {:<8} x{:>4}   backup-if-interrupted-here: {:>7} B",
-            op.mnemonic(),
-            n,
-            backup
-        );
+        println!("  {:<8} x{:>4}   backup-if-interrupted-here: {:>7} B", op.mnemonic(), n, backup);
     }
     println!(
         "\ninterrupting after CALC_I would move {intermediate} B of 32-bit intermediate\n\

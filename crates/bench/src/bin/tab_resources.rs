@@ -10,10 +10,7 @@ use inca_accel::resources::{
 use inca_isa::Parallelism;
 
 fn row(name: &str, r: &ResourceEstimate) {
-    println!(
-        "{name:<28} {:>6} {:>9} {:>9} {:>7}",
-        r.dsp, r.lut, r.ff, r.bram
-    );
+    println!("{name:<28} {:>6} {:>9} {:>9} {:>7}", r.dsp, r.lut, r.ff, r.bram);
 }
 
 fn main() {

@@ -24,9 +24,7 @@ use std::sync::Arc;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use inca_accel::{
-    AccelConfig, Engine, InterruptEvent, InterruptStrategy, Program, TimingBackend,
-};
+use inca_accel::{AccelConfig, Engine, InterruptEvent, InterruptStrategy, Program, TimingBackend};
 use inca_compiler::Compiler;
 use inca_isa::TaskSlot;
 use inca_model::{zoo, Network, Shape3};
@@ -87,8 +85,7 @@ pub fn tiny_requester(cfg: &AccelConfig) -> Arc<Program> {
 #[must_use]
 pub fn makespan(cfg: &AccelConfig, program: &Arc<Program>) -> u64 {
     let slot = TaskSlot::LOWEST;
-    let mut engine =
-        Engine::new(*cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
+    let mut engine = Engine::new(*cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
     engine.load(slot, Arc::clone(program)).expect("load");
     engine.request_at(0, slot).expect("request");
     engine.run().expect("run").completed_jobs[0].finish
@@ -146,11 +143,8 @@ pub fn mean_us(cfg: &AccelConfig, cycles: &[u64]) -> f64 {
 
 /// Simple fixed-width table printer.
 pub fn print_row(cells: &[String], widths: &[usize]) {
-    let line: Vec<String> = cells
-        .iter()
-        .zip(widths.iter())
-        .map(|(c, w)| format!("{c:>w$}", w = *w))
-        .collect();
+    let line: Vec<String> =
+        cells.iter().zip(widths.iter()).map(|(c, w)| format!("{c:>w$}", w = *w)).collect();
     println!("{}", line.join("  "));
 }
 
@@ -173,13 +167,7 @@ mod tests {
         let w = Workload::compile(&cfg, &zoo::tiny(Shape3::new(3, 32, 32)).unwrap());
         let req = tiny_requester(&cfg);
         let span = makespan(&cfg, &w.vi);
-        let ev = probe_interrupt(
-            &cfg,
-            InterruptStrategy::VirtualInstruction,
-            &w,
-            &req,
-            span / 2,
-        );
+        let ev = probe_interrupt(&cfg, InterruptStrategy::VirtualInstruction, &w, &req, span / 2);
         assert!(ev.latency() > 0);
     }
 
@@ -187,14 +175,8 @@ mod tests {
     fn workload_picks_program_by_strategy() {
         let cfg = AccelConfig::paper_small();
         let w = Workload::compile(&cfg, &zoo::tiny(Shape3::new(3, 64, 64)).unwrap());
-        assert!(Arc::ptr_eq(
-            &w.for_strategy(InterruptStrategy::VirtualInstruction),
-            &w.vi
-        ));
-        assert!(Arc::ptr_eq(
-            &w.for_strategy(InterruptStrategy::LayerByLayer),
-            &w.original
-        ));
+        assert!(Arc::ptr_eq(&w.for_strategy(InterruptStrategy::VirtualInstruction), &w.vi));
+        assert!(Arc::ptr_eq(&w.for_strategy(InterruptStrategy::LayerByLayer), &w.original));
         assert!(w.vi.stats().virtual_instrs > w.original.stats().virtual_instrs);
     }
 

@@ -55,9 +55,14 @@ impl<'a> CodeGen<'a> {
         let mut blob: u32 = 0;
         for meta in &lowered.layers {
             match meta.kind {
-                LayerKind::Conv { .. } | LayerKind::FullyConnected => match self.options.loop_order {
-                    LoopOrder::HeightOuter => self.emit_conv_height_outer(&mut b, meta, &mut blob)?,
-                    LoopOrder::ChannelOuter => self.emit_conv_channel_outer(&mut b, meta, &mut blob)?,
+                LayerKind::Conv { .. } | LayerKind::FullyConnected => match self.options.loop_order
+                {
+                    LoopOrder::HeightOuter => {
+                        self.emit_conv_height_outer(&mut b, meta, &mut blob)?
+                    }
+                    LoopOrder::ChannelOuter => {
+                        self.emit_conv_channel_outer(&mut b, meta, &mut blob)?
+                    }
                 },
                 LayerKind::DwConv { .. } => self.emit_per_channel(&mut b, meta, &mut blob, true)?,
                 LayerKind::Pool { .. } => self.emit_per_channel(&mut b, meta, &mut blob, false)?,
@@ -100,8 +105,10 @@ impl<'a> CodeGen<'a> {
 
     fn load_d(meta: &LayerMeta, blob: u32, ic0: u32, ics: u32, r0: u32, r1: u32) -> Instr {
         let w_in = u64::from(meta.in_shape.w);
-        let addr = meta.input_addr + (u64::from(ic0) * u64::from(meta.in_shape.h) + u64::from(r0)) * w_in;
-        let bytes = u32::try_from(u64::from(ics) * u64::from(r1 - r0) * w_in).expect("tile bytes fit u32");
+        let addr =
+            meta.input_addr + (u64::from(ic0) * u64::from(meta.in_shape.h) + u64::from(r0)) * w_in;
+        let bytes =
+            u32::try_from(u64::from(ics) * u64::from(r1 - r0) * w_in).expect("tile bytes fit u32");
         Instr::transfer(
             Opcode::LoadD,
             meta.id,
@@ -117,7 +124,8 @@ impl<'a> CodeGen<'a> {
         let w_in = u64::from(meta.in_shape.w);
         let addr = meta.input2_addr.expect("Add layer has input2")
             + (u64::from(c0) * u64::from(meta.in_shape.h) + u64::from(r0)) * w_in;
-        let bytes = u32::try_from(u64::from(cs) * u64::from(r1 - r0) * w_in).expect("tile bytes fit u32");
+        let bytes =
+            u32::try_from(u64::from(cs) * u64::from(r1 - r0) * w_in).expect("tile bytes fit u32");
         let virtual_c0 = meta.in_shape.c + c0;
         Instr::transfer(
             Opcode::LoadD,
@@ -134,7 +142,8 @@ impl<'a> CodeGen<'a> {
             (meta.weight_addr + u64::from(oc0) * k2, u64::from(ocs) * k2)
         } else {
             (
-                meta.weight_addr + (u64::from(oc0) * u64::from(meta.in_shape.c) + u64::from(ic0)) * k2,
+                meta.weight_addr
+                    + (u64::from(oc0) * u64::from(meta.in_shape.c) + u64::from(ic0)) * k2,
                 u64::from(ocs) * u64::from(ics) * k2,
             )
         };
@@ -157,8 +166,8 @@ impl<'a> CodeGen<'a> {
         chans: u32,
     ) {
         let w_out = u64::from(meta.out_shape.w);
-        let addr =
-            meta.output_addr + (u64::from(c0) * u64::from(meta.out_shape.h) + u64::from(out_r0)) * w_out;
+        let addr = meta.output_addr
+            + (u64::from(c0) * u64::from(meta.out_shape.h) + u64::from(out_r0)) * w_out;
         let bytes =
             u32::try_from(u64::from(chans) * u64::from(rows) * w_out).expect("save bytes fit u32");
         let sid = b.alloc_save_id();
@@ -193,7 +202,8 @@ impl<'a> CodeGen<'a> {
             let rows = ph.min(h_out - out_r0);
             let (in_r0, in_r1) = meta.input_rows_for(out_r0, rows);
             let in_rows = u64::from(in_r1 - in_r0);
-            let resident = u64::from(c_in) * in_rows * w_in <= u64::from(self.arch.data_buffer_bytes);
+            let resident =
+                u64::from(c_in) * in_rows * w_in <= u64::from(self.arch.data_buffer_bytes);
             if !resident {
                 // Streaming mode still needs one input-channel group at a time.
                 self.check_data_fits(meta, u64::from(pi) * in_rows * w_in)?;
@@ -220,7 +230,14 @@ impl<'a> CodeGen<'a> {
                         op,
                         meta.id,
                         this_blob,
-                        Tile::new(out_r0 as u16, rows as u16, oc0 as u16, ocs as u16, ic0 as u16, ics as u16),
+                        Tile::new(
+                            out_r0 as u16,
+                            rows as u16,
+                            oc0 as u16,
+                            ocs as u16,
+                            ic0 as u16,
+                            ics as u16,
+                        ),
                     ));
                 }
                 group_count += 1;
@@ -254,8 +271,8 @@ impl<'a> CodeGen<'a> {
             let ocs = po.min(c_out - oc0);
             // Whole output-channel group's weights resident across tiles?
             let group_weight_bytes = u64::from(ocs) * u64::from(c_in) * k2;
-            let w_resident =
-                meta.kind.has_weights() && group_weight_bytes <= u64::from(self.arch.weight_buffer_bytes);
+            let w_resident = meta.kind.has_weights()
+                && group_weight_bytes <= u64::from(self.arch.weight_buffer_bytes);
             for ht in 0..ht_n {
                 let out_r0 = ht * ph;
                 let rows = ph.min(h_out - out_r0);
@@ -278,7 +295,14 @@ impl<'a> CodeGen<'a> {
                         op,
                         meta.id,
                         this_blob,
-                        Tile::new(out_r0 as u16, rows as u16, oc0 as u16, ocs as u16, ic0 as u16, ics as u16),
+                        Tile::new(
+                            out_r0 as u16,
+                            rows as u16,
+                            oc0 as u16,
+                            ocs as u16,
+                            ic0 as u16,
+                            ics as u16,
+                        ),
                     ));
                 }
                 Self::save(b, meta, this_blob, out_r0, rows, oc0, ocs);
@@ -324,7 +348,14 @@ impl<'a> CodeGen<'a> {
                     Opcode::CalcF,
                     meta.id,
                     this_blob,
-                    Tile::new(out_r0 as u16, rows as u16, c0 as u16, cs as u16, c0 as u16, cs as u16),
+                    Tile::new(
+                        out_r0 as u16,
+                        rows as u16,
+                        c0 as u16,
+                        cs as u16,
+                        c0 as u16,
+                        cs as u16,
+                    ),
                 ));
                 group_count += 1;
                 if group_count == group_len || cg + 1 == cg_n {
@@ -393,7 +424,10 @@ impl<'a> CodeGen<'a> {
         for ht in 0..ceil_div(h, ph) {
             let r0 = ht * ph;
             let rows = ph.min(h - r0);
-            self.check_data_fits(meta, 2 * u64::from(po) * u64::from(rows) * u64::from(meta.in_shape.w))?;
+            self.check_data_fits(
+                meta,
+                2 * u64::from(po) * u64::from(rows) * u64::from(meta.in_shape.w),
+            )?;
             let group_len = self.save_group_len(meta, rows)?;
             let mut group_c0 = 0u32;
             let mut group_count = 0u32;
@@ -530,11 +564,8 @@ mod tests {
         let net = zoo::tiny(Shape3::new(3, 16, 16)).unwrap();
         let p = compile(&net);
         let add = p.layers.iter().find(|m| matches!(m.kind, LayerKind::Add)).unwrap();
-        let loads: Vec<_> = p
-            .instrs
-            .iter()
-            .filter(|i| i.op == Opcode::LoadD && i.layer == add.id)
-            .collect();
+        let loads: Vec<_> =
+            p.instrs.iter().filter(|i| i.op == Opcode::LoadD && i.layer == add.id).collect();
         assert!(loads.len() >= 2);
         // Second operand uses virtual channel indices >= C.
         assert!(loads.iter().any(|l| u32::from(l.tile.c0) >= add.in_shape.c));

@@ -50,7 +50,9 @@ fn lower_kind(op: &Op) -> LayerKind {
     match *op {
         Op::Conv { kernel, stride, pad, .. } => LayerKind::Conv { kernel, stride, pad },
         Op::DwConv { kernel, stride, pad, .. } => LayerKind::DwConv { kernel, stride, pad },
-        Op::Pool(p) => LayerKind::Pool { kind: p.kind, kernel: p.kernel, stride: p.stride, pad: p.pad },
+        Op::Pool(p) => {
+            LayerKind::Pool { kind: p.kind, kernel: p.kernel, stride: p.stride, pad: p.pad }
+        }
         Op::Add { .. } => LayerKind::Add,
         Op::FullyConnected { .. } => LayerKind::FullyConnected,
         Op::GemPool { p } => LayerKind::GlobalPool { kind: inca_isa::PoolKind::Gem { p } },
@@ -170,7 +172,9 @@ pub fn lower(
             )));
         }
         let macs_per_output = match node.op {
-            Op::Conv { kernel, .. } => u64::from(in_shape.c) * u64::from(kernel) * u64::from(kernel),
+            Op::Conv { kernel, .. } => {
+                u64::from(in_shape.c) * u64::from(kernel) * u64::from(kernel)
+            }
             Op::FullyConnected { .. } => u64::from(in_shape.c),
             Op::DwConv { kernel, .. } => u64::from(kernel) * u64::from(kernel),
             _ => 1,
@@ -245,11 +249,8 @@ mod tests {
             assert_eq!(m.weight_addr % 64, 0);
         }
         // Output regions pairwise disjoint.
-        let mut regions: Vec<(u64, u64)> = l
-            .layers
-            .iter()
-            .map(|m| (m.output_addr, m.output_addr + m.out_shape.bytes()))
-            .collect();
+        let mut regions: Vec<(u64, u64)> =
+            l.layers.iter().map(|m| (m.output_addr, m.output_addr + m.out_shape.bytes())).collect();
         let (inp_addr, inp_shape) = l.input_region(&net);
         regions.push((inp_addr, inp_addr + inp_shape.bytes()));
         regions.sort_unstable();
@@ -271,11 +272,7 @@ mod tests {
     fn fc_is_flattened() {
         let net = zoo::mobilenet_v1(Shape3::new(3, 224, 224)).unwrap();
         let l = lowered(&net);
-        let fc = l
-            .layers
-            .iter()
-            .find(|m| matches!(m.kind, LayerKind::FullyConnected))
-            .unwrap();
+        let fc = l.layers.iter().find(|m| matches!(m.kind, LayerKind::FullyConnected)).unwrap();
         assert_eq!(fc.in_shape, Shape3::new(1024, 1, 1));
         assert_eq!(fc.out_shape, Shape3::new(1000, 1, 1));
         assert_eq!(fc.weight_bytes, 1024 * 1000);

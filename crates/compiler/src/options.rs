@@ -1,7 +1,9 @@
 //! Compilation options.
 
 /// Tile traversal order within a convolution layer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum LoopOrder {
     /// Height tiles outermost, output-channel groups inner (input rows are
     /// resident across the CalcBlobs of a height tile; weights are

@@ -205,10 +205,9 @@ pub fn vi_pass(
         }
 
         let point_here = match i.op {
-            Opcode::CalcF => !matches!(
-                program.instrs.get(pc + 1).map(|n| n.op),
-                Some(Opcode::Save)
-            ),
+            Opcode::CalcF => {
+                !matches!(program.instrs.get(pc + 1).map(|n| n.op), Some(Opcode::Save))
+            }
             Opcode::Save => true,
             _ => false,
         };
@@ -275,10 +274,7 @@ mod tests {
         let vi = compiler().compile_vi(&net).unwrap();
         for p in &vi.interrupt_points {
             let before = vi.instrs[p.vir_start as usize - 1].op;
-            assert!(
-                matches!(before, Opcode::CalcF | Opcode::Save),
-                "point after {before}"
-            );
+            assert!(matches!(before, Opcode::CalcF | Opcode::Save), "point after {before}");
         }
         assert!(!vi.interrupt_points.is_empty());
     }
@@ -288,7 +284,9 @@ mod tests {
         let net = zoo::tiny(Shape3::new(3, 32, 32)).unwrap();
         let vi = compiler().compile_vi(&net).unwrap();
         for (pc, i) in vi.instrs.iter().enumerate() {
-            if i.op == Opcode::CalcF && matches!(vi.instrs.get(pc + 1).map(|n| n.op), Some(Opcode::Save)) {
+            if i.op == Opcode::CalcF
+                && matches!(vi.instrs.get(pc + 1).map(|n| n.op), Some(Opcode::Save))
+            {
                 assert!(
                     !vi.interrupt_points.iter().any(|p| p.vir_start as usize == pc + 1),
                     "redundant point between CALC_F and SAVE at pc {pc}"
@@ -330,9 +328,7 @@ mod tests {
             .iter()
             .find(|p| vi.instrs[p.vir_start as usize - 1].op == Opcode::Save)
             .unwrap();
-        assert!(vi.instrs[after_save.vir_range()]
-            .iter()
-            .all(|i| i.op != Opcode::VirSave));
+        assert!(vi.instrs[after_save.vir_range()].iter().all(|i| i.op != Opcode::VirSave));
     }
 
     #[test]
@@ -352,10 +348,8 @@ mod tests {
                     && vi.instrs[p.vir_range()].iter().any(|i| i.op == Opcode::VirLoadD)
             })
             .expect("expected a mid-tile point with VIR_LOAD_D");
-        let vir_d: Vec<_> = vi.instrs[mid_point.vir_range()]
-            .iter()
-            .filter(|i| i.op == Opcode::VirLoadD)
-            .collect();
+        let vir_d: Vec<_> =
+            vi.instrs[mid_point.vir_range()].iter().filter(|i| i.op == Opcode::VirLoadD).collect();
         // The restored bytes equal the original resident loads: all 16
         // input channels x 8 input rows x width 8.
         let total: u32 = vir_d.iter().map(|i| i.ddr.bytes).sum();
@@ -380,10 +374,7 @@ mod tests {
         let net = zoo::tiny(Shape3::new(3, 16, 16)).unwrap();
         let c = compiler();
         let vi = c.compile_vi(&net).unwrap();
-        assert!(matches!(
-            vi_pass(&vi, c.arch(), c.options()),
-            Err(CompileError::Unsupported(_))
-        ));
+        assert!(matches!(vi_pass(&vi, c.arch(), c.options()), Err(CompileError::Unsupported(_))));
     }
 
     #[test]

@@ -15,9 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "loop closure", "agent", "ATE before", "ATE after", "closures", "merge RMSE"
     );
     for lc in [false, true] {
-        let mut cfg = MissionConfig::default();
-        cfg.duration_s = 40.0;
-        cfg.loop_closure = lc;
+        let cfg = MissionConfig { duration_s: 40.0, loop_closure: lc, ..MissionConfig::default() };
         let outcome = Mission::new(cfg)?.run()?;
         for (i, a) in outcome.agents.iter().enumerate() {
             println!(

@@ -142,9 +142,8 @@ impl FeatureExtractor {
             if kept.len() >= self.config.max_keypoints {
                 break;
             }
-            let suppressed = kept
-                .iter()
-                .any(|k| (k.u - cand.u).powi(2) + (k.v - cand.v).powi(2) < r2);
+            let suppressed =
+                kept.iter().any(|k| (k.u - cand.u).powi(2) + (k.v - cand.v).powi(2) < r2);
             if !suppressed {
                 kept.push(cand);
             }

@@ -113,10 +113,8 @@ pub fn merge_maps(
     let obs_a = map_a.frame_landmarks.get(&frame_a)?;
     let obs_b = map_b.frame_landmarks.get(&frame_b)?;
     let by_app: HashMap<u64, Point2> = obs_a.iter().copied().collect();
-    let pairs: Vec<(Point2, Point2)> = obs_b
-        .iter()
-        .filter_map(|(app, p_b)| by_app.get(app).map(|p_a| (*p_b, *p_a)))
-        .collect();
+    let pairs: Vec<(Point2, Point2)> =
+        obs_b.iter().filter_map(|(app, p_b)| by_app.get(app).map(|p_a| (*p_b, *p_a))).collect();
     if pairs.len() < 3 {
         return None;
     }

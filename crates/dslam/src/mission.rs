@@ -23,6 +23,7 @@ use inca_accel::{AccelConfig, InterruptEvent, InterruptStrategy, JobRecord, Timi
 use inca_compiler::Compiler;
 use inca_isa::{Program, Shape3, TaskSlot};
 use inca_model::zoo;
+use inca_obs::{ChromeTrace, Metrics, TraceEvent, Tracer};
 use inca_runtime::{JobHandle, Node, NodeContext, Runtime};
 
 use crate::camera::{Camera, CameraConfig, Frame};
@@ -258,6 +259,7 @@ struct PrNode {
     snapshot: Option<Arc<Frame>>,
     started: bool,
     state: Shared,
+    tracer: Tracer,
 }
 
 impl PrNode {
@@ -290,6 +292,12 @@ impl Node<Msg> for PrNode {
             let code = self.recognizer.encode(&frame, pose);
             st.codes.insert(code);
             st.pr_completed += 1;
+            let (cycle, frame_idx, pass) = (ctx.now(), frame.index, st.pr_completed);
+            self.tracer.emit(|| TraceEvent::Milestone {
+                cycle,
+                label: "pr.encode".into(),
+                detail: format!("pass {pass} encoded frame {frame_idx}"),
+            });
         }
         let next = self.state.borrow().last_frame.clone();
         if let Some(frame) = next {
@@ -320,7 +328,8 @@ impl Mission {
             return Err(DslamError::Config("duration must be positive".into()));
         }
         let compiler = Compiler::new(config.accel.arch);
-        let fe_net = zoo::superpoint(config.fe_input).map_err(inca_compiler::CompileError::Model)?;
+        let fe_net =
+            zoo::superpoint(config.fe_input).map_err(inca_compiler::CompileError::Model)?;
         let pr_net =
             zoo::gem_resnet101(config.pr_input).map_err(inca_compiler::CompileError::Model)?;
         let fe_program = compiler.compile_vi(&fe_net)?;
@@ -341,12 +350,17 @@ impl Mission {
         &self.pr_program
     }
 
-    fn run_agent(&self, agent: usize) -> Result<AgentOutcome, DslamError> {
+    fn run_agent(
+        &self,
+        agent: usize,
+        tracer: &Tracer,
+    ) -> Result<(AgentOutcome, Metrics), DslamError> {
         let cfg = &self.config;
         let fe_slot = TaskSlot::new(1).expect("slot 1");
         let pr_slot = TaskSlot::new(3).expect("slot 3");
         let mut rt: Runtime<Msg, TimingBackend> =
             Runtime::new(cfg.accel, cfg.strategy, TimingBackend::new());
+        rt.set_tracer(tracer.clone());
         rt.engine_mut().load(fe_slot, self.fe_program.clone())?;
         rt.engine_mut().load(pr_slot, self.pr_program.clone())?;
 
@@ -378,6 +392,7 @@ impl Mission {
             snapshot: None,
             started: false,
             state: Rc::clone(&state),
+            tracer: tracer.clone(),
         });
         rt.subscribe(fe, "camera/image");
         rt.subscribe(pr, "camera/image");
@@ -387,6 +402,7 @@ impl Mission {
         let deadline = cfg.accel.us_to_cycles(cfg.duration_s * 1e6);
         rt.run_until(deadline)?;
         let report = rt.report();
+        let mut metrics = rt.metrics();
         drop(rt); // release the nodes' clones of the shared state
 
         let mut st = Rc::try_unwrap(state)
@@ -395,16 +411,25 @@ impl Mission {
         let ate_before = st.map.ate();
         let mut loop_closures = 0;
         if cfg.loop_closure {
-            let closures = crate::posegraph::detect_loop_closures(
-                &st.map,
-                &st.codes,
-                cfg.merge_threshold,
-                40,
-            );
-            loop_closures =
-                crate::posegraph::optimize_trajectory(&mut st.map, &closures, 5);
+            let closures =
+                crate::posegraph::detect_loop_closures(&st.map, &st.codes, cfg.merge_threshold, 40);
+            loop_closures = crate::posegraph::optimize_trajectory(&mut st.map, &closures, 5);
+            if loop_closures > 0 {
+                tracer.emit(|| TraceEvent::Milestone {
+                    cycle: deadline,
+                    label: "posegraph.optimize".into(),
+                    detail: format!("agent {agent}: {loop_closures} loop closures applied"),
+                });
+            }
         }
-        Ok(AgentOutcome {
+        metrics.inc("dslam.frames", u64::from(st.frames));
+        metrics.inc("dslam.fe.completed", u64::from(st.fe_completed));
+        metrics.inc("dslam.fe.dropped", u64::from(st.fe_dropped));
+        metrics.inc("dslam.pr.completed", u64::from(st.pr_completed));
+        metrics
+            .inc("dslam.vo.failures", u64::from(st.vo.as_ref().map_or(0, |v| v.tracking_failures)));
+        metrics.inc("dslam.loop_closures", loop_closures as u64);
+        let outcome = AgentOutcome {
             frames: st.frames,
             fe_completed: st.fe_completed,
             fe_dropped: st.fe_dropped,
@@ -417,7 +442,8 @@ impl Mission {
             codes: st.codes,
             interrupts: report.accel.interrupts.clone(),
             jobs: report.accel.completed_jobs.clone(),
-        })
+        };
+        Ok((outcome, metrics))
     }
 
     /// Runs both agents and attempts the cross-agent merge.
@@ -426,8 +452,44 @@ impl Mission {
     ///
     /// Propagates accelerator simulation errors.
     pub fn run(&self) -> Result<MissionOutcome, DslamError> {
-        let a = self.run_agent(0)?;
-        let b = self.run_agent(1)?;
+        Ok(self.run_inner(None)?.0)
+    }
+
+    /// Like [`Mission::run`], additionally recording up to
+    /// `events_per_agent` trace events per agent (oldest dropped first)
+    /// and per-agent metrics, packaged as a [`MissionTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator simulation errors.
+    pub fn run_traced(
+        &self,
+        events_per_agent: usize,
+    ) -> Result<(MissionOutcome, MissionTrace), DslamError> {
+        let (outcome, trace) = self.run_inner(Some(events_per_agent))?;
+        Ok((outcome, trace.expect("tracing was enabled")))
+    }
+
+    fn run_inner(
+        &self,
+        trace_capacity: Option<usize>,
+    ) -> Result<(MissionOutcome, Option<MissionTrace>), DslamError> {
+        // Per-instruction events (hundreds of thousands per simulated
+        // second) would evict the sparse scheduling events a bounded ring
+        // is meant to retain, so mission traces keep everything else.
+        let recorder = |cap: Option<usize>| match cap {
+            Some(c) => {
+                let (tracer, buffer) =
+                    Tracer::ring_filtered(c, |e| !matches!(e, TraceEvent::InstrRetired { .. }));
+                (tracer, Some(buffer))
+            }
+            None => (Tracer::disabled(), None),
+        };
+        let (tracer_a, buf_a) = recorder(trace_capacity);
+        let (tracer_b, buf_b) = recorder(trace_capacity);
+        let (a, metrics_a) = self.run_agent(0, &tracer_a)?;
+        let (b, metrics_b) = self.run_agent(1, &tracer_b)?;
+        let deadline = self.config.accel.us_to_cycles(self.config.duration_s * 1e6);
 
         // Cross-agent PR matching: rank all (code_b, code_a) pairs by
         // similarity and take the best mergeable one.
@@ -446,7 +508,98 @@ impl Mission {
             .take(20)
             .find_map(|&(s, fa, fb)| merge_maps(&a.map, &b.map, fa, fb, s));
 
-        Ok(MissionOutcome { agents: vec![a, b], merge })
+        let trace = match (buf_a, buf_b) {
+            (Some(buf_a), Some(buf_b)) => {
+                let mut mission_events = Vec::new();
+                if let Some((s, fa, fb)) = candidates.first() {
+                    mission_events.push(TraceEvent::Milestone {
+                        cycle: deadline,
+                        label: "pr.match".into(),
+                        detail: format!(
+                            "best cross-agent match: a#{fa} ~ b#{fb} (similarity {s:.3}, {} candidates)",
+                            candidates.len()
+                        ),
+                    });
+                }
+                if let Some(m) = &merge {
+                    mission_events.push(TraceEvent::Milestone {
+                        cycle: deadline,
+                        label: "map.merge".into(),
+                        detail: format!(
+                            "maps merged on a#{} ~ b#{} (similarity {:.3})",
+                            m.frame_a, m.frame_b, m.similarity
+                        ),
+                    });
+                }
+                Some(MissionTrace {
+                    agents: vec![
+                        AgentTrace {
+                            events: buf_a.snapshot(),
+                            dropped: buf_a.dropped(),
+                            metrics: metrics_a,
+                        },
+                        AgentTrace {
+                            events: buf_b.snapshot(),
+                            dropped: buf_b.dropped(),
+                            metrics: metrics_b,
+                        },
+                    ],
+                    mission_events,
+                    cycles_per_us: self.config.accel.clock_hz as f64 / 1e6,
+                })
+            }
+            _ => None,
+        };
+        Ok((MissionOutcome { agents: vec![a, b], merge }, trace))
+    }
+}
+
+/// Trace + metrics captured from one agent's runtime.
+#[derive(Debug)]
+pub struct AgentTrace {
+    /// Retained trace events, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Events dropped because the per-agent ring was full.
+    pub dropped: u64,
+    /// The agent runtime's metrics (engine + runtime + dslam counters).
+    pub metrics: Metrics,
+}
+
+/// Everything [`Mission::run_traced`] records: per-agent event streams
+/// plus cross-agent milestones (PR match, map merge).
+#[derive(Debug)]
+pub struct MissionTrace {
+    /// One trace per agent, in agent order.
+    pub agents: Vec<AgentTrace>,
+    /// Cross-agent milestones, stamped with the mission deadline cycle.
+    pub mission_events: Vec<TraceEvent>,
+    cycles_per_us: f64,
+}
+
+impl MissionTrace {
+    /// Combined metrics: each agent's registry under an `agentN.` prefix.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        for (i, a) in self.agents.iter().enumerate() {
+            m.absorb(&format!("agent{i}."), &a.metrics);
+        }
+        m
+    }
+
+    /// The Chrome trace-event JSON document (one process per agent, plus
+    /// a `mission` process for cross-agent milestones), loadable in
+    /// Perfetto. Byte-identical for identical missions.
+    #[must_use]
+    pub fn chrome_json(&self) -> String {
+        let mut builder = ChromeTrace::new(self.cycles_per_us);
+        for (i, a) in self.agents.iter().enumerate() {
+            builder.add_process(i as u32, &format!("agent{i}"), &a.events);
+        }
+        if !self.mission_events.is_empty() {
+            builder.add_process(self.agents.len() as u32, "mission", &self.mission_events);
+        }
+        builder.finish()
     }
 }
 
@@ -470,10 +623,7 @@ mod tests {
             assert!(agent.frames >= 30, "agent {i} frames {}", agent.frames);
             assert!(agent.fe_completed > 0, "agent {i} no FE completed");
             assert!(agent.pr_completed > 0, "agent {i} no PR completed");
-            assert!(
-                !agent.interrupts.is_empty(),
-                "agent {i}: PR should have been preempted by FE"
-            );
+            assert!(!agent.interrupts.is_empty(), "agent {i}: PR should have been preempted by FE");
             assert_eq!(agent.deadline_misses, 0, "agent {i} missed FE deadlines");
             assert!(!agent.map.trajectory.is_empty());
         }

@@ -63,10 +63,8 @@ pub fn relative_from_landmarks(map: &AgentMap, frame_a: u32, frame_b: u32) -> Op
     let obs_a = map.frame_landmarks.get(&frame_a)?;
     let obs_b = map.frame_landmarks.get(&frame_b)?;
     let by_app: HashMap<u64, Point2> = obs_a.iter().copied().collect();
-    let pairs: Vec<(Point2, Point2)> = obs_b
-        .iter()
-        .filter_map(|(app, p_b)| by_app.get(app).map(|p_a| (*p_b, *p_a)))
-        .collect();
+    let pairs: Vec<(Point2, Point2)> =
+        obs_b.iter().filter_map(|(app, p_b)| by_app.get(app).map(|p_a| (*p_b, *p_a))).collect();
     if pairs.len() < 3 {
         return None;
     }
@@ -84,12 +82,8 @@ const MIN_RESIDUAL_RAD: f64 = 0.05;
 /// Sum of squared closure residuals (translation, metres²) — the internal
 /// objective the relaxation must improve.
 fn total_residual(map: &AgentMap, closures: &[LoopClosure]) -> f64 {
-    let index_of: HashMap<u32, usize> = map
-        .trajectory
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.frame, i))
-        .collect();
+    let index_of: HashMap<u32, usize> =
+        map.trajectory.iter().enumerate().map(|(i, s)| (s.frame, i)).collect();
     let mut sum = 0.0;
     for c in closures {
         let (Some(&ia), Some(&ib)) = (index_of.get(&c.frame_a), index_of.get(&c.frame_b)) else {
@@ -116,12 +110,8 @@ pub fn optimize_trajectory(
     if closures.is_empty() || map.trajectory.is_empty() {
         return 0;
     }
-    let index_of: HashMap<u32, usize> = map
-        .trajectory
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.frame, i))
-        .collect();
+    let index_of: HashMap<u32, usize> =
+        map.trajectory.iter().enumerate().map(|(i, s)| (s.frame, i)).collect();
     let snapshot: Vec<_> = map.trajectory.iter().map(|s| s.estimate).collect();
     let before = total_residual(map, closures);
     let mut applied: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();

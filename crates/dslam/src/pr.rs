@@ -168,13 +168,10 @@ mod tests {
     fn database_returns_the_best() {
         let pr = PlaceRecognizer::default();
         let mut db = PlaceDatabase::new();
-        for (i, pose) in [
-            Pose2::new(-6.0, -4.0, 0.0),
-            Pose2::new(0.0, -2.0, 1.5),
-            Pose2::new(6.0, 4.0, 3.0),
-        ]
-        .iter()
-        .enumerate()
+        for (i, pose) in
+            [Pose2::new(-6.0, -4.0, 0.0), Pose2::new(0.0, -2.0, 1.5), Pose2::new(6.0, 4.0, 3.0)]
+                .iter()
+                .enumerate()
         {
             db.insert(pr.encode(&frame_at(*pose, i as u32), Pose2::default()));
         }

@@ -57,9 +57,7 @@ impl Trajectory {
     #[must_use]
     pub fn loop_length(&self) -> f64 {
         let n = self.waypoints.len();
-        (0..n)
-            .map(|i| self.waypoints[i].distance(self.waypoints[(i + 1) % n]))
-            .sum()
+        (0..n).map(|i| self.waypoints[i].distance(self.waypoints[(i + 1) % n])).sum()
     }
 
     /// Heading blend distance at corners (metres): the robot rotates
@@ -102,11 +100,7 @@ impl Trajectory {
                 } else {
                     heading
                 };
-                return Pose2::new(
-                    a.x + (b.x - a.x) * f,
-                    a.y + (b.y - a.y) * f,
-                    wrap_angle(theta),
-                );
+                return Pose2::new(a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f, wrap_angle(theta));
             }
             s -= seg;
         }
@@ -156,11 +150,7 @@ mod tests {
             let b = t.pose_at(f64::from(i) * dt);
             max_step = max_step.max(wrap_angle(b.theta - a.theta).abs());
         }
-        assert!(
-            max_step < 0.25,
-            "heading jumps {:.1}° between frames",
-            max_step.to_degrees()
-        );
+        assert!(max_step < 0.25, "heading jumps {:.1}° between frames", max_step.to_degrees());
     }
 
     #[test]
@@ -174,14 +164,10 @@ mod tests {
         // Both agents pass near y≈0 so PR can find a shared scene.
         let a = Trajectory::agent0();
         let b = Trajectory::agent1();
-        let near_a = (0..2000)
-            .map(|i| a.pose_at(f64::from(i) * 0.1))
-            .filter(|p| p.t.y > -1.5)
-            .count();
-        let near_b = (0..2000)
-            .map(|i| b.pose_at(f64::from(i) * 0.1))
-            .filter(|p| p.t.y < 0.5)
-            .count();
+        let near_a =
+            (0..2000).map(|i| a.pose_at(f64::from(i) * 0.1)).filter(|p| p.t.y > -1.5).count();
+        let near_b =
+            (0..2000).map(|i| b.pose_at(f64::from(i) * 0.1)).filter(|p| p.t.y < 0.5).count();
         assert!(near_a > 0 && near_b > 0);
     }
 }

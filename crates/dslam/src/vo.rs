@@ -64,14 +64,7 @@ impl VisualOdometry {
     /// Creates a VO with explicit tracking parameters.
     #[must_use]
     pub fn with_config(origin: Pose2, config: VoConfig) -> Self {
-        Self {
-            config,
-            keyframe: None,
-            pose: origin,
-            frames: 0,
-            tracking_failures: 0,
-            keyframes: 0,
-        }
+        Self { config, keyframe: None, pose: origin, frames: 0, tracking_failures: 0, keyframes: 0 }
     }
 
     /// Current pose estimate.
@@ -96,10 +89,8 @@ impl VisualOdometry {
         let matches = match_keypoints(kf_kps, &keypoints, self.config.match_ratio);
         // Static world points: p_keyframe = D · p_current, with D the
         // motion of the camera since the keyframe.
-        let pairs: Vec<_> = matches
-            .iter()
-            .map(|&(i, j)| (keypoints[j].local, kf_kps[i].local))
-            .collect();
+        let pairs: Vec<_> =
+            matches.iter().map(|&(i, j)| (keypoints[j].local, kf_kps[i].local)).collect();
         match align_rigid_2d(&pairs) {
             Some(delta) if pairs.len() >= 3 => {
                 self.pose = kf_pose.compose(delta);

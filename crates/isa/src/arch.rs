@@ -60,9 +60,9 @@ impl ArchSpec {
     pub fn angel_eye_big() -> Self {
         Self {
             parallelism: Parallelism::new(16, 16, 8),
-            data_buffer_bytes: 1 << 20,        // 1.0 MiB
-            weight_buffer_bytes: 704 << 10,    // 0.69 MiB
-            output_buffer_bytes: 512 << 10,    // 0.5 MiB
+            data_buffer_bytes: 1 << 20,     // 1.0 MiB
+            weight_buffer_bytes: 704 << 10, // 0.69 MiB
+            output_buffer_bytes: 512 << 10, // 0.5 MiB
         }
     }
 

@@ -56,11 +56,8 @@ fn mnemonic_to_opcode(m: &str) -> Result<Opcode, IsaError> {
 }
 
 fn parse_u64(field: &str, s: &str) -> Result<u64, IsaError> {
-    let r = if let Some(hex) = s.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16)
-    } else {
-        s.parse()
-    };
+    let r =
+        if let Some(hex) = s.strip_prefix("0x") { u64::from_str_radix(hex, 16) } else { s.parse() };
     r.map_err(|_| IsaError::Invalid(format!("bad number `{s}` in field `{field}`")))
 }
 
@@ -92,12 +89,10 @@ fn narrow<T: TryFrom<u64>>(field: &str, v: u64) -> Result<T, IsaError> {
 /// or out-of-range values.
 pub fn parse_instr_asm(line: &str) -> Result<Instr, IsaError> {
     let mut parts = line.split_whitespace();
-    let mnemonic = parts
-        .next()
-        .ok_or_else(|| IsaError::Invalid("empty instruction line".into()))?;
+    let mnemonic =
+        parts.next().ok_or_else(|| IsaError::Invalid("empty instruction line".into()))?;
     let op = mnemonic_to_opcode(mnemonic)?;
-    let (mut layer, mut blob, mut tile, mut ddr, mut save) =
-        (None, None, None, None, None);
+    let (mut layer, mut blob, mut tile, mut ddr, mut save) = (None, None, None, None, None);
     for kv in parts {
         let (key, value) = kv
             .split_once('=')
@@ -148,9 +143,10 @@ pub fn parse_stream_asm(text: &str) -> Result<Vec<Instr>, IsaError> {
         if line.is_empty() {
             continue;
         }
-        out.push(parse_instr_asm(line).map_err(|e| {
-            IsaError::Invalid(format!("line {}: {e}", no + 1))
-        })?);
+        out.push(
+            parse_instr_asm(line)
+                .map_err(|e| IsaError::Invalid(format!("line {}: {e}", no + 1)))?,
+        );
     }
     Ok(out)
 }

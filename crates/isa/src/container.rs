@@ -275,8 +275,14 @@ mod tests {
         b.push(Instr::calc(Opcode::CalcF, 0, 0, Tile::new(0, 1, 0, 8, 0, 8)));
         let sid = b.alloc_save_id();
         b.push(
-            Instr::transfer(Opcode::Save, 0, 0, Tile::rows_chans(0, 1, 0, 8), DdrRange::new(128, 8))
-                .with_save_id(sid),
+            Instr::transfer(
+                Opcode::Save,
+                0,
+                0,
+                Tile::rows_chans(0, 1, 0, 8),
+                DdrRange::new(128, 8),
+            )
+            .with_save_id(sid),
         );
         b.build().unwrap()
     }
@@ -304,10 +310,7 @@ mod tests {
 
         let mut bytes = encode_container(&p);
         bytes[4] = 0xEE; // version
-        assert!(matches!(
-            decode_container(&bytes),
-            Err(IsaError::UnsupportedVersion(_))
-        ));
+        assert!(matches!(decode_container(&bytes), Err(IsaError::UnsupportedVersion(_))));
     }
 
     #[test]

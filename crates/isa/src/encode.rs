@@ -124,10 +124,7 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Instr>, IsaError> {
     let _reserved = r.get_u32_le();
     let body = &bytes[HEADER_BYTES..];
     if body.len() != count * RECORD_BYTES {
-        return Err(IsaError::TruncatedRecord {
-            len: body.len(),
-            expected: count * RECORD_BYTES,
-        });
+        return Err(IsaError::TruncatedRecord { len: body.len(), expected: count * RECORD_BYTES });
     }
     let mut instrs = Vec::with_capacity(count);
     for chunk in body.chunks_exact(RECORD_BYTES) {
@@ -185,10 +182,7 @@ mod tests {
         let mut bytes = vec![0u8; HEADER_BYTES];
         bytes[..4].copy_from_slice(&MAGIC);
         bytes[4] = 99;
-        assert!(matches!(
-            decode_stream(&bytes),
-            Err(IsaError::UnsupportedVersion(99))
-        ));
+        assert!(matches!(decode_stream(&bytes), Err(IsaError::UnsupportedVersion(99))));
     }
 
     #[test]
@@ -200,9 +194,6 @@ mod tests {
         bytes.extend_from_slice(&2u32.to_le_bytes()); // claims 2 records
         bytes.extend_from_slice(&0u32.to_le_bytes());
         bytes.extend_from_slice(&encode_instr(&sample())); // provides 1
-        assert!(matches!(
-            decode_stream(&bytes),
-            Err(IsaError::TruncatedRecord { .. })
-        ));
+        assert!(matches!(decode_stream(&bytes), Err(IsaError::TruncatedRecord { .. })));
     }
 }

@@ -96,10 +96,7 @@ impl Opcode {
     ///
     /// [`IsaError::UnknownOpcode`] for unassigned byte values.
     pub fn from_byte(byte: u8) -> Result<Self, IsaError> {
-        Opcode::ALL
-            .into_iter()
-            .find(|op| *op as u8 == byte)
-            .ok_or(IsaError::UnknownOpcode(byte))
+        Opcode::ALL.into_iter().find(|op| *op as u8 == byte).ok_or(IsaError::UnknownOpcode(byte))
     }
 }
 
@@ -115,7 +112,9 @@ impl std::fmt::Display for Opcode {
 /// `VIR_SAVE`, and in the *input* feature-map for `LOAD_D` / `VIR_LOAD_D`.
 /// Channel ranges follow the same convention; `ic0`/`ics` give the input
 /// channel group consumed by a `CALC_*` or covered by a `LOAD_W`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Tile {
     /// First row covered.
     pub h0: u16,
@@ -168,7 +167,9 @@ impl Tile {
 ///
 /// The address is relative to the owning task's base offset; the IAU adds
 /// the per-slot `InputOffset`/`OutputOffset` at run time.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct DdrRange {
     /// Task-relative byte address.
     pub addr: u64,

@@ -6,7 +6,9 @@
 //! quantisation.
 
 /// A `(channels, height, width)` tensor shape in CHW layout.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Shape3 {
     /// Channels.
     pub c: u32,
@@ -215,7 +217,9 @@ impl LayerMeta {
             LayerKind::Add => self.in_shape == self.out_shape,
             LayerKind::FullyConnected => self.out_shape.h == 1 && self.out_shape.w == 1,
             LayerKind::GlobalPool { .. } => {
-                self.out_shape.h == 1 && self.out_shape.w == 1 && self.out_shape.c == self.in_shape.c
+                self.out_shape.h == 1
+                    && self.out_shape.w == 1
+                    && self.out_shape.c == self.in_shape.c
             }
             LayerKind::DwConv { .. } | LayerKind::Pool { .. } => {
                 i64::from(self.out_shape.h) == expect(self.in_shape.h)
@@ -255,7 +259,13 @@ impl LayerMeta {
 mod tests {
     use super::*;
 
-    fn conv_meta(kernel: u8, stride: u8, pad: u8, in_shape: Shape3, out_shape: Shape3) -> LayerMeta {
+    fn conv_meta(
+        kernel: u8,
+        stride: u8,
+        pad: u8,
+        in_shape: Shape3,
+        out_shape: Shape3,
+    ) -> LayerMeta {
         LayerMeta {
             id: 0,
             name: "conv".into(),

@@ -30,8 +30,7 @@ impl MemoryMap {
     /// Total task-relative address-space footprint in bytes.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        (self.weights_base + self.weights_bytes)
-            .max(self.activations_base + self.activations_bytes)
+        (self.weights_base + self.weights_bytes).max(self.activations_base + self.activations_bytes)
     }
 
     /// Whether `addr..addr+len` lies inside the network-input region.
@@ -179,18 +178,13 @@ impl Program {
     /// The next interrupt point at or after `pc`, if any.
     #[must_use]
     pub fn next_interrupt_point(&self, pc: usize) -> Option<&InterruptPoint> {
-        let idx = self
-            .interrupt_points
-            .partition_point(|p| (p.vir_start as usize) < pc);
+        let idx = self.interrupt_points.partition_point(|p| (p.vir_start as usize) < pc);
         self.interrupt_points.get(idx)
     }
 
     /// Iterates over the original (non-virtual) instructions with their pcs.
     pub fn original_instrs(&self) -> impl Iterator<Item = (usize, &Instr)> {
-        self.instrs
-            .iter()
-            .enumerate()
-            .filter(|(_, i)| !i.op.is_virtual())
+        self.instrs.iter().enumerate().filter(|(_, i)| !i.op.is_virtual())
     }
 
     /// Aggregate statistics.
@@ -551,13 +545,7 @@ mod tests {
     fn validate_rejects_stray_virtual() {
         let mut b = Program::builder("bad");
         b.layers.push(tiny_layer());
-        b.push(Instr::transfer(
-            Opcode::VirSave,
-            0,
-            0,
-            Tile::default(),
-            DdrRange::EMPTY,
-        ));
+        b.push(Instr::transfer(Opcode::VirSave, 0, 0, Tile::default(), DdrRange::EMPTY));
         // No mark_interrupt_point call -> stray virtual instruction.
         assert!(b.build().is_err());
     }

@@ -54,10 +54,7 @@ impl NetworkBuilder {
     ///
     /// [`ModelError::UnknownNode`] when the id has not been added.
     pub fn shape_of(&self, id: NodeId) -> Result<Shape3, ModelError> {
-        self.nodes
-            .get(id.0)
-            .map(|n| n.out_shape)
-            .ok_or(ModelError::UnknownNode(id.0))
+        self.nodes.get(id.0).map(|n| n.out_shape).ok_or(ModelError::UnknownNode(id.0))
     }
 
     fn push(&mut self, name: &str, op: Op, inputs: Vec<NodeId>, out_shape: Shape3) -> NodeId {
@@ -194,9 +191,7 @@ impl NetworkBuilder {
         let sa = self.shape_of(a)?;
         let sb = self.shape_of(b)?;
         if sa != sb {
-            return Err(ModelError::ShapeMismatch(format!(
-                "Add `{name}` inputs {sa} vs {sb}"
-            )));
+            return Err(ModelError::ShapeMismatch(format!("Add `{name}` inputs {sa} vs {sb}")));
         }
         Ok(self.push(name, Op::Add { relu }, vec![a, b], sa))
     }

@@ -4,7 +4,9 @@ use crate::{ModelError, Op, Shape3};
 
 /// Identifier of a node within its [`Network`] (also its topological
 /// position: inputs of a node always have smaller ids).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -46,9 +48,7 @@ impl Node {
                 u64::from(out_channels) * u64::from(in_shape.c) * k2(kernel)
             }
             Op::DwConv { kernel, .. } => u64::from(in_shape.c) * k2(kernel),
-            Op::FullyConnected { out_features, .. } => {
-                u64::from(out_features) * in_shape.elems()
-            }
+            Op::FullyConnected { out_features, .. } => u64::from(out_features) * in_shape.elems(),
             _ => 0,
         }
     }
@@ -58,9 +58,7 @@ impl Node {
     pub fn macs(&self, in_shape: Shape3) -> u64 {
         let k2 = |k: u8| u64::from(k) * u64::from(k);
         match self.op {
-            Op::Conv { kernel, .. } => {
-                self.out_shape.elems() * u64::from(in_shape.c) * k2(kernel)
-            }
+            Op::Conv { kernel, .. } => self.out_shape.elems() * u64::from(in_shape.c) * k2(kernel),
             Op::DwConv { kernel, .. } => self.out_shape.elems() * k2(kernel),
             Op::Pool(p) => self.out_shape.elems() * k2(p.kernel),
             Op::Add { .. } => self.out_shape.elems(),
@@ -131,10 +129,7 @@ impl Network {
     /// builder).
     #[must_use]
     pub fn input(&self) -> &Node {
-        self.nodes
-            .iter()
-            .find(|n| matches!(n.op, Op::Input))
-            .expect("network has an input node")
+        self.nodes.iter().find(|n| matches!(n.op, Op::Input)).expect("network has an input node")
     }
 
     /// Number of non-input layers.
@@ -234,10 +229,7 @@ impl Network {
         }
         for (idx, n) in self.nodes.iter().enumerate() {
             if n.id.0 != idx {
-                return Err(ModelError::Invalid(format!(
-                    "node {} stored at index {idx}",
-                    n.id
-                )));
+                return Err(ModelError::Invalid(format!("node {} stored at index {idx}", n.id)));
             }
             if n.inputs.len() != n.op.arity() {
                 return Err(ModelError::Invalid(format!(

@@ -77,11 +77,8 @@ fn bottleneck(
     project: bool,
 ) -> Result<NodeId, ModelError> {
     let out_ch = width * 4;
-    let shortcut = if project {
-        b.conv(&format!("{name}_proj"), x, out_ch, 1, stride, 0, false)?
-    } else {
-        x
-    };
+    let shortcut =
+        if project { b.conv(&format!("{name}_proj"), x, out_ch, 1, stride, 0, false)? } else { x };
     let c1 = b.conv(&format!("{name}_2a"), x, width, 1, 1, 0, true)?;
     let c2 = b.conv(&format!("{name}_2b"), c1, width, 3, stride, 1, true)?;
     let c3 = b.conv(&format!("{name}_2c"), c2, out_ch, 1, 1, 0, false)?;
@@ -96,11 +93,8 @@ fn basic_block(
     stride: u8,
     project: bool,
 ) -> Result<NodeId, ModelError> {
-    let shortcut = if project {
-        b.conv(&format!("{name}_proj"), x, width, 1, stride, 0, false)?
-    } else {
-        x
-    };
+    let shortcut =
+        if project { b.conv(&format!("{name}_proj"), x, width, 1, stride, 0, false)? } else { x };
     let c1 = b.conv(&format!("{name}_2a"), x, width, 3, stride, 1, true)?;
     let c2 = b.conv(&format!("{name}_2b"), c1, width, 3, 1, 1, false)?;
     b.add(&format!("{name}_add"), shortcut, c2, true)
@@ -173,7 +167,14 @@ pub fn gem_resnet101(input: Shape3) -> Result<Network, ModelError> {
     for (stage, (&reps, &width)) in [3usize, 4, 23, 3].iter().zip(widths.iter()).enumerate() {
         for rep in 0..reps {
             let stride = if stage > 0 && rep == 0 { 2 } else { 1 };
-            x = bottleneck(&mut b, &format!("res{}b{}", stage + 2, rep), x, width, stride, rep == 0)?;
+            x = bottleneck(
+                &mut b,
+                &format!("res{}b{}", stage + 2, rep),
+                x,
+                width,
+                stride,
+                rep == 0,
+            )?;
         }
     }
     let g = b.gem_pool("gem", x, 3)?;
@@ -297,26 +298,17 @@ mod tests {
         assert_eq!(n.conv_layer_count(), 1 + 16 * 3 + 4);
         let n = resnet18(CAM).unwrap();
         assert_eq!(n.conv_layer_count(), 1 + 8 * 2 + 3);
-        assert_eq!(
-            n.node(*n.outputs.first().unwrap()).out_shape,
-            Shape3::new(512, 15, 20)
-        );
+        assert_eq!(n.node(*n.outputs.first().unwrap()).out_shape, Shape3::new(512, 15, 20));
     }
 
     #[test]
     fn vgg16_structure() {
         let n = vgg16(CAM, false).unwrap();
         assert_eq!(n.conv_layer_count(), 13);
-        assert_eq!(
-            n.node(*n.outputs.first().unwrap()).out_shape,
-            Shape3::new(512, 15, 20)
-        );
+        assert_eq!(n.node(*n.outputs.first().unwrap()).out_shape, Shape3::new(512, 15, 20));
         let n = vgg16(Shape3::new(3, 224, 224), true).unwrap();
         assert_eq!(n.conv_layer_count(), 16);
-        assert_eq!(
-            n.node(*n.outputs.first().unwrap()).out_shape,
-            Shape3::new(1000, 1, 1)
-        );
+        assert_eq!(n.node(*n.outputs.first().unwrap()).out_shape, Shape3::new(1000, 1, 1));
     }
 
     #[test]
@@ -350,10 +342,7 @@ mod tests {
         let n = mobilenet_v1(Shape3::new(3, 224, 224)).unwrap();
         // 1 stem + 13 pointwise + 1 fc weighted convs + 13 dwconvs.
         assert_eq!(n.conv_layer_count(), 28);
-        assert_eq!(
-            n.node(*n.outputs.first().unwrap()).out_shape,
-            Shape3::new(1000, 1, 1)
-        );
+        assert_eq!(n.node(*n.outputs.first().unwrap()).out_shape, Shape3::new(1000, 1, 1));
         let gmacs = n.total_macs() as f64 / 1e9;
         assert!((0.3..1.2).contains(&gmacs), "mobilenet GMACs = {gmacs}");
     }
@@ -364,16 +353,9 @@ mod tests {
         // 1 stem + 8 fires x 3 convs + conv10 weighted layers.
         assert_eq!(n.conv_layer_count(), 1 + 8 * 3 + 1);
         // Fire concats double the expand width.
-        let f9 = n
-            .nodes
-            .iter()
-            .find(|x| x.name == "fire9_concat")
-            .unwrap();
+        let f9 = n.nodes.iter().find(|x| x.name == "fire9_concat").unwrap();
         assert_eq!(f9.out_shape.c, 512);
-        assert_eq!(
-            n.node(*n.outputs.first().unwrap()).out_shape,
-            Shape3::new(1000, 1, 1)
-        );
+        assert_eq!(n.node(*n.outputs.first().unwrap()).out_shape, Shape3::new(1000, 1, 1));
         let gmacs = n.total_macs() as f64 / 1e9;
         assert!((0.2..1.5).contains(&gmacs), "squeezenet GMACs = {gmacs}");
     }

@@ -1,0 +1,131 @@
+//! ASCII timeline rendering: the fixed-width occupancy chart used by
+//! `Report::gantt` and the bench bins, with interval clamping hardened
+//! against out-of-range and zero-length inputs.
+
+/// One labelled row of a timeline: half-open `[start, end)` cycle
+/// intervals plus a trailing note.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineRow {
+    /// Row label (left column).
+    pub label: String,
+    /// Busy intervals in cycles, half-open.
+    pub intervals: Vec<(u64, u64)>,
+    /// Free-form text appended after the bar.
+    pub note: String,
+}
+
+impl TimelineRow {
+    /// Builds a row.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        intervals: Vec<(u64, u64)>,
+        note: impl Into<String>,
+    ) -> Self {
+        Self { label: label.into(), intervals, note: note.into() }
+    }
+}
+
+/// Paints `intervals` (half-open, in cycles over `[0, span)`) onto a
+/// `width`-cell row of `.`/`#`.
+///
+/// Degenerate inputs never paint: empty/inverted intervals (`start >=
+/// end`), intervals entirely past `span`, and in particular a zero-length
+/// interval at exactly `span` — which used to round onto the final column.
+#[must_use]
+pub fn paint(intervals: &[(u64, u64)], span: u64, width: usize) -> String {
+    let mut row = vec![b'.'; width];
+    if span > 0 && width > 0 {
+        for &(start, end) in intervals {
+            if start >= end {
+                continue;
+            }
+            let a = (start as u128 * width as u128 / span as u128) as usize;
+            if a >= width {
+                continue;
+            }
+            let b = (end as u128 * width as u128 / span as u128) as usize;
+            let b = b.clamp(a + 1, width);
+            for cell in &mut row[a..b] {
+                *cell = b'#';
+            }
+        }
+    }
+    String::from_utf8(row).expect("ascii")
+}
+
+/// Renders labelled rows plus a `0 .. span cycles` axis line. Labels are
+/// padded to a common width; output is deterministic.
+#[must_use]
+pub fn render(rows: &[TimelineRow], span: u64, width: usize) -> String {
+    use std::fmt::Write as _;
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for row in rows {
+        let bar = paint(&row.intervals, span, width);
+        let _ = write!(out, "{:<label_w$} |{}|", row.label, bar);
+        if row.note.is_empty() {
+            out.push('\n');
+        } else {
+            let _ = writeln!(out, " {}", row.note);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:pad$}0{:>width$}",
+        "",
+        format!("{span} cycles"),
+        pad = label_w + 2,
+        width = width
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_interval_at_span_paints_nothing() {
+        let bar = paint(&[(100, 100)], 100, 10);
+        assert_eq!(bar, "..........");
+    }
+
+    #[test]
+    fn interval_past_span_paints_nothing() {
+        let bar = paint(&[(200, 300)], 100, 10);
+        assert_eq!(bar, "..........");
+    }
+
+    #[test]
+    fn inverted_interval_paints_nothing() {
+        let bar = paint(&[(80, 20)], 100, 10);
+        assert_eq!(bar, "..........");
+    }
+
+    #[test]
+    fn short_interval_paints_one_cell() {
+        let bar = paint(&[(0, 1)], 1_000_000, 10);
+        assert_eq!(bar, "#.........");
+    }
+
+    #[test]
+    fn full_span_paints_all_cells() {
+        let bar = paint(&[(0, 100)], 100, 10);
+        assert_eq!(bar, "##########");
+    }
+
+    #[test]
+    fn render_aligns_labels_and_axis() {
+        let rows = vec![
+            TimelineRow::new("slot0", vec![(0, 50)], "1 preemptions"),
+            TimelineRow::new("slot1", vec![(50, 100)], String::new()),
+        ];
+        let out = render(&rows, 100, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "slot0 |#####.....| 1 preemptions");
+        assert_eq!(lines[1], "slot1 |.....#####|");
+        assert!(lines[2].ends_with("100 cycles"));
+        assert!(lines[2].starts_with("       0"));
+    }
+}

@@ -1,0 +1,128 @@
+//! A minimal, dependency-free JSON writer.
+//!
+//! The workspace's `serde` is an offline marker stub (see `vendor/serde`),
+//! so every exporter in this crate serialises by hand. The writer is
+//! deliberately tiny: objects and arrays are built in order, numbers use
+//! Rust's default (shortest round-trip) formatting, and the output for a
+//! given input is byte-stable — which the trace-determinism tests rely on.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for embedding in a JSON string literal (without the
+/// surrounding quotes).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number. JSON has no NaN/Inf; they are
+/// serialised as `null`.
+#[must_use]
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// An in-order JSON object builder.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":\"{}\"", escape(key), escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Adds a float field.
+    #[must_use]
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), number(value));
+        self
+    }
+
+    /// Adds a field whose value is already-serialised JSON.
+    #[must_use]
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Closes the object and returns its JSON text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Joins already-serialised JSON values into an array literal.
+#[must_use]
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_builder_orders_fields() {
+        let s = Obj::new().str("a", "x").u64("b", 2).f64("c", 1.5).raw("d", "[1]").finish();
+        assert_eq!(s, "{\"a\":\"x\",\"b\":2,\"c\":1.5,\"d\":[1]}");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(2.0), "2");
+    }
+}

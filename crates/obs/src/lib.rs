@@ -1,0 +1,32 @@
+//! # inca-obs — deterministic observability for the INCA stack
+//!
+//! A zero-overhead-when-disabled tracing + metrics layer driven entirely
+//! by the simulation's virtual clock:
+//!
+//! * [`trace`] — typed [`TraceEvent`]s, the [`TraceSink`] trait, a bounded
+//!   ring recorder and the cheap [`Tracer`] handle the engine, runtime and
+//!   bus are instrumented with. A disabled tracer costs one discriminant
+//!   check per site; event-construction closures never run.
+//! * [`metrics`] — a [`Metrics`] registry of counters, gauges and
+//!   fixed-bucket cycle [`Histogram`]s, snapshotted into the flat JSON
+//!   schema ([`METRICS_SCHEMA`]) shared by all bench bins.
+//! * [`chrome`] — [`ChromeTrace`], a Chrome trace-event JSON exporter
+//!   loadable in Perfetto: one track per task slot, preemption phases
+//!   t1/t2/t4 as nested slices, deadline misses as instants.
+//! * [`ascii`] — the fixed-width timeline renderer behind
+//!   `Report::gantt`, hardened against out-of-range intervals.
+//!
+//! Because every timestamp is a virtual cycle, the same program and seed
+//! yield **byte-identical** trace files regardless of host machine or the
+//! functional backend's worker-thread count.
+
+pub mod ascii;
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use ascii::{paint, render, TimelineRow};
+pub use chrome::{ChromeTrace, APP_TID, RUNTIME_TID};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot, CYCLE_BUCKETS, METRICS_SCHEMA};
+pub use trace::{RingSink, TraceBuffer, TraceEvent, TraceSink, Tracer};

@@ -1,0 +1,316 @@
+//! A deterministic metrics registry: counters, gauges and cycle
+//! histograms with **fixed** bucket boundaries, so a snapshot of the same
+//! run is byte-identical no matter where or how often it is taken.
+//!
+//! Keys are plain dotted strings (`"engine.jobs.completed"`); storage is
+//! `BTreeMap`, so iteration (and therefore JSON output) is sorted and
+//! reproducible.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Obj};
+
+/// Fixed cycle-histogram bucket boundaries: powers of four from 1 to
+/// 4^18 (~6.9e10 cycles ≈ 229 s at 300 MHz). A fixed ladder keeps
+/// snapshots reproducible across runs and mergeable across sources.
+pub const CYCLE_BUCKETS: [u64; 19] = [
+    1,
+    4,
+    16,
+    64,
+    256,
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30,
+    1 << 32,
+    1 << 34,
+    1 << 36,
+];
+
+/// A histogram over the fixed [`CYCLE_BUCKETS`] ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[i]` counts samples `<= CYCLE_BUCKETS[i]`; the final slot
+    /// counts overflows.
+    counts: [u64; CYCLE_BUCKETS.len() + 1],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { counts: [0; CYCLE_BUCKETS.len() + 1], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        let idx = CYCLE_BUCKETS.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(upper_bound, count)` for every non-empty bucket; the overflow
+    /// bucket reports `u64::MAX` as its bound.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (CYCLE_BUCKETS.get(i).copied().unwrap_or(u64::MAX), c))
+            .collect()
+    }
+
+    fn to_json(&self) -> String {
+        let buckets: Vec<String> =
+            self.nonzero_buckets().iter().map(|(le, c)| format!("[{le},{c}]")).collect();
+        Obj::new()
+            .u64("count", self.count)
+            .raw("sum", &self.sum.to_string())
+            .u64("min", self.min())
+            .u64("max", self.max())
+            .f64("mean", self.mean())
+            .raw("buckets", &json::array(&buckets))
+            .finish()
+    }
+}
+
+/// The registry: sorted maps of counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name` (created at 0).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Sets gauge `name`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records `value` into histogram `name` (created empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_owned()).or_default().observe(value);
+    }
+
+    /// Counter value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Absorbs `other`, prefixing every key with `prefix` (counters add,
+    /// gauges overwrite, histograms merge is not needed — they are copied;
+    /// colliding histogram keys keep `other`'s).
+    pub fn absorb(&mut self, prefix: &str, other: &Metrics) {
+        for (k, v) in &other.counters {
+            self.inc(&format!("{prefix}{k}"), *v);
+        }
+        for (k, v) in &other.gauges {
+            self.set_gauge(&format!("{prefix}{k}"), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.insert(format!("{prefix}{k}"), v.clone());
+        }
+    }
+
+    /// Serialises the three maps as a JSON object fragment (used by
+    /// [`MetricsSnapshot::to_json`]).
+    #[must_use]
+    pub fn to_json_fragment(&self) -> (String, String, String) {
+        let mut counters = Obj::new();
+        for (k, v) in &self.counters {
+            counters = counters.u64(k, *v);
+        }
+        let mut gauges = Obj::new();
+        for (k, v) in &self.gauges {
+            gauges = gauges.f64(k, *v);
+        }
+        let mut histograms = Obj::new();
+        for (k, v) in &self.histograms {
+            histograms = histograms.raw(k, &v.to_json());
+        }
+        (counters.finish(), gauges.finish(), histograms.finish())
+    }
+}
+
+/// Schema identifier stamped into every exported metrics snapshot. All
+/// bench bins share this schema (`perf_smoke`, `profile_network --json`,
+/// `fig_dslam_mission --json`).
+pub const METRICS_SCHEMA: &str = "inca-obs/metrics-v1";
+
+/// A named, serialisable view of a [`Metrics`] registry.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Snapshot name (e.g. the bench bin that produced it).
+    pub name: String,
+    /// The metrics.
+    pub metrics: Metrics,
+}
+
+impl MetricsSnapshot {
+    /// Wraps `metrics` under `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, metrics: Metrics) -> Self {
+        Self { name: name.into(), metrics }
+    }
+
+    /// The flat JSON form shared by all bench bins:
+    /// `{"schema":"inca-obs/metrics-v1","name":...,"counters":{...},
+    /// "gauges":{...},"histograms":{...}}` with sorted keys.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let (counters, gauges, histograms) = self.metrics.to_json_fragment();
+        Obj::new()
+            .str("schema", METRICS_SCHEMA)
+            .str("name", &self.name)
+            .raw("counters", &counters)
+            .raw("gauges", &gauges)
+            .raw("histograms", &histograms)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_stable() {
+        let mut h = Histogram::default();
+        for v in [1, 2, 4, 5, 1_000_000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        let buckets = h.nonzero_buckets();
+        // 1 -> le=1; 2,4 -> le=4; 5 -> le=16; 1e6 -> le=2^20; MAX -> overflow.
+        assert_eq!(buckets[0], (1, 1));
+        assert_eq!(buckets[1], (4, 2));
+        assert_eq!(buckets[2], (16, 1));
+        assert_eq!(buckets[3], (1 << 20, 1));
+        assert_eq!(buckets[4], (u64::MAX, 1));
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_stable() {
+        let mut m = Metrics::new();
+        m.inc("b.count", 2);
+        m.inc("a.count", 1);
+        m.set_gauge("z", 0.5);
+        m.observe("lat", 300);
+        let s1 = MetricsSnapshot::new("test", m.clone()).to_json();
+        let s2 = MetricsSnapshot::new("test", m).to_json();
+        assert_eq!(s1, s2);
+        let a = s1.find("\"a.count\"").unwrap();
+        let b = s1.find("\"b.count\"").unwrap();
+        assert!(a < b, "keys sorted");
+        assert!(s1.starts_with("{\"schema\":\"inca-obs/metrics-v1\""));
+    }
+
+    #[test]
+    fn absorb_prefixes_and_adds() {
+        let mut inner = Metrics::new();
+        inner.inc("jobs", 3);
+        inner.set_gauge("util", 0.9);
+        inner.observe("lat", 10);
+        let mut outer = Metrics::new();
+        outer.inc("engine.jobs", 1);
+        outer.absorb("engine.", &inner);
+        assert_eq!(outer.counter("engine.jobs"), 4);
+        assert_eq!(outer.gauge("engine.util"), Some(0.9));
+        assert!(outer.histogram("engine.lat").is_some());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::default();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! Typed trace events, the [`TraceSink`] trait, the ring-buffer recorder
+//! and the cheap [`Tracer`] handle threaded through the stack.
+//!
+//! All timestamps are **virtual cycles** taken from the simulation clock,
+//! never wall time — so the same program and seed produce the same event
+//! stream (and therefore byte-identical exported traces) regardless of
+//! host speed or the functional backend's worker-thread count.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use inca_isa::{Opcode, TaskSlot};
+use parking_lot::Mutex;
+
+/// One observability event. Every variant carries the virtual cycle(s) it
+/// refers to; ordering in a recorded stream follows emission order, which
+/// for the single-threaded engine/runtime equals cycle order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An original instruction retired on the datapath.
+    InstrRetired {
+        /// Cycle execution of this instruction began.
+        start: u64,
+        /// Cycles charged.
+        cycles: u64,
+        /// Slot it ran for.
+        slot: TaskSlot,
+        /// Opcode.
+        op: Opcode,
+        /// Layer id.
+        layer: u16,
+    },
+    /// A virtual instruction was materialised by the IAU (a `VIR_SAVE`
+    /// during backup, or a `VIR_LOAD_*` during resume).
+    ViMaterialized {
+        /// Cycle the transfer began.
+        start: u64,
+        /// Cycles charged.
+        cycles: u64,
+        /// Slot.
+        slot: TaskSlot,
+        /// Opcode (`VIR_SAVE`, `VIR_LOAD_D` or `VIR_LOAD_W`).
+        op: Opcode,
+        /// Layer id.
+        layer: u16,
+    },
+    /// The IAU patched (or fully elided) a later real `SAVE` whose output
+    /// range was already flushed by a `VIR_SAVE`.
+    SavePatched {
+        /// Cycle of the patch.
+        cycle: u64,
+        /// Slot.
+        slot: TaskSlot,
+        /// The save group id.
+        save_id: u32,
+        /// Whether the whole `SAVE` was elided (fully flushed already).
+        elided: bool,
+    },
+    /// A job was released into a slot (request became visible).
+    JobReleased {
+        /// Release cycle.
+        cycle: u64,
+        /// Slot.
+        slot: TaskSlot,
+    },
+    /// A job began executing for the first time.
+    JobStarted {
+        /// Cycle.
+        cycle: u64,
+        /// Slot.
+        slot: TaskSlot,
+    },
+    /// A job completed.
+    JobFinished {
+        /// Cycle.
+        cycle: u64,
+        /// Slot.
+        slot: TaskSlot,
+        /// Cycles spent executing instructions.
+        busy_cycles: u64,
+        /// Times it was preempted.
+        preemptions: u32,
+    },
+    /// A job was preempted: the paper's `t1` (finish current operation)
+    /// and `t2` (backup) phases, probed on the victim.
+    Preempted {
+        /// The victim slot.
+        victim: TaskSlot,
+        /// The requesting (winner) slot.
+        winner: TaskSlot,
+        /// Victim layer at the request.
+        layer: u16,
+        /// Cycle the high-priority request was released.
+        request: u64,
+        /// Cycles to finish the current operation.
+        t1: u64,
+        /// Backup cycles.
+        t2: u64,
+    },
+    /// A preempted job resumed: the `t4` (restore) phase.
+    Resumed {
+        /// Slot.
+        slot: TaskSlot,
+        /// Cycle the restore began.
+        restore_start: u64,
+        /// Restore cycles.
+        t4: u64,
+    },
+    /// A deadline-carrying job finished in time.
+    DeadlineMet {
+        /// Completion cycle.
+        cycle: u64,
+        /// Slot.
+        slot: TaskSlot,
+        /// The absolute deadline.
+        deadline: u64,
+        /// Cycles of slack left.
+        slack: u64,
+    },
+    /// A deadline-carrying job finished late.
+    DeadlineMissed {
+        /// Completion cycle.
+        cycle: u64,
+        /// Slot.
+        slot: TaskSlot,
+        /// The absolute deadline.
+        deadline: u64,
+        /// Cycles past the deadline.
+        overrun: u64,
+    },
+    /// The runtime delivered a publication to its subscribers.
+    MessagePublished {
+        /// Cycle (or publish sequence number on the wall-clock live bus).
+        cycle: u64,
+        /// Topic name.
+        topic: String,
+        /// Subscribers reached.
+        subscribers: u32,
+    },
+    /// A node timer fired.
+    TimerFired {
+        /// Cycle.
+        cycle: u64,
+        /// Node index.
+        node: u32,
+        /// Timer id.
+        timer: u32,
+    },
+    /// An application-level milestone (e.g. DSLAM PR match, map merge).
+    Milestone {
+        /// Cycle.
+        cycle: u64,
+        /// Short label (becomes the event name in exported traces).
+        label: String,
+        /// Free-form detail.
+        detail: String,
+    },
+}
+
+impl TraceEvent {
+    /// The primary cycle of the event (start cycle for spans).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::InstrRetired { start, .. } | TraceEvent::ViMaterialized { start, .. } => {
+                *start
+            }
+            TraceEvent::SavePatched { cycle, .. }
+            | TraceEvent::JobReleased { cycle, .. }
+            | TraceEvent::JobStarted { cycle, .. }
+            | TraceEvent::JobFinished { cycle, .. }
+            | TraceEvent::DeadlineMet { cycle, .. }
+            | TraceEvent::DeadlineMissed { cycle, .. }
+            | TraceEvent::MessagePublished { cycle, .. }
+            | TraceEvent::TimerFired { cycle, .. }
+            | TraceEvent::Milestone { cycle, .. } => *cycle,
+            TraceEvent::Preempted { request, .. } => *request,
+            TraceEvent::Resumed { restore_start, .. } => *restore_start,
+        }
+    }
+}
+
+/// A consumer of trace events. Implementations provide their own interior
+/// mutability; `record` takes `&self` so one sink can be shared by every
+/// layer of the stack (engine, runtime, bus) through cloned [`Tracer`]s.
+pub trait TraceSink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: TraceEvent);
+}
+
+#[derive(Debug)]
+struct RingState {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A bounded in-memory recorder. When full, the **oldest** events are
+/// dropped (and counted), so the tail of a long run is always retained.
+#[derive(Debug)]
+pub struct RingSink {
+    state: Mutex<RingState>,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            state: Mutex::new(RingState {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            }),
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: TraceEvent) {
+        let mut st = self.state.lock();
+        if st.events.len() == st.capacity {
+            st.events.pop_front();
+            st.dropped += 1;
+        }
+        st.events.push_back(event);
+    }
+}
+
+/// Forwards events passing a predicate to an inner [`RingSink`].
+struct FilterSink {
+    keep: Box<dyn Fn(&TraceEvent) -> bool + Send + Sync>,
+    inner: Arc<RingSink>,
+}
+
+impl TraceSink for FilterSink {
+    fn record(&self, event: TraceEvent) {
+        if (self.keep)(&event) {
+            self.inner.record(event);
+        }
+    }
+}
+
+/// Read side of a [`Tracer::ring`] pair.
+#[derive(Clone)]
+pub struct TraceBuffer {
+    ring: Arc<RingSink>,
+}
+
+impl TraceBuffer {
+    /// A copy of all retained events, in emission order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let st = self.ring.state.lock();
+        st.events.iter().cloned().collect()
+    }
+
+    /// Drains and returns all retained events.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut st = self.ring.state.lock();
+        st.events.drain(..).collect()
+    }
+
+    /// Events dropped because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.state.lock().dropped
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.state.lock().events.len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer").field("len", &self.len()).finish()
+    }
+}
+
+/// The handle instrumented code holds. Cloning is cheap; the default is
+/// disabled, in which case [`Tracer::emit`] is a branch on a discriminant
+/// and the event closure is never run — the fast path loses nothing.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<dyn TraceSink>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A tracer backed by a [`RingSink`] of `capacity` events, plus the
+    /// buffer to read them back from.
+    #[must_use]
+    pub fn ring(capacity: usize) -> (Self, TraceBuffer) {
+        let ring = Arc::new(RingSink::new(capacity));
+        (Self { inner: Some(Arc::clone(&ring) as Arc<dyn TraceSink>) }, TraceBuffer { ring })
+    }
+
+    /// Like [`Tracer::ring`], but only events for which `keep` returns
+    /// `true` reach the ring. Use this to keep high-rate event classes
+    /// (e.g. [`TraceEvent::InstrRetired`], one per instruction) from
+    /// evicting the sparse scheduling events a bounded ring is meant to
+    /// retain.
+    #[must_use]
+    pub fn ring_filtered(
+        capacity: usize,
+        keep: impl Fn(&TraceEvent) -> bool + Send + Sync + 'static,
+    ) -> (Self, TraceBuffer) {
+        let ring = Arc::new(RingSink::new(capacity));
+        let tracer = Self {
+            inner: Some(Arc::new(FilterSink { keep: Box::new(keep), inner: Arc::clone(&ring) })),
+        };
+        (tracer, TraceBuffer { ring })
+    }
+
+    /// A tracer forwarding to a custom sink.
+    pub fn with_sink(sink: impl TraceSink + 'static) -> Self {
+        Self { inner: Some(Arc::new(sink)) }
+    }
+
+    /// Whether events are being recorded. Instrumentation with non-trivial
+    /// setup cost should guard on this.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records the event produced by `make` — which is only evaluated when
+    /// the tracer is enabled.
+    #[inline]
+    pub fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.inner {
+            sink.record(make());
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.enabled()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(i: u8) -> TaskSlot {
+        TaskSlot::new(i).unwrap()
+    }
+
+    #[test]
+    fn disabled_tracer_never_runs_the_closure() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.emit(|| unreachable!("closure must not run when disabled"));
+    }
+
+    #[test]
+    fn ring_records_in_order_and_reads_back() {
+        let (t, buf) = Tracer::ring(16);
+        assert!(t.enabled());
+        for c in 0..3 {
+            t.emit(|| TraceEvent::JobReleased { cycle: c, slot: slot(1) });
+        }
+        let events = buf.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2], TraceEvent::JobReleased { cycle: 2, slot: slot(1) });
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts() {
+        let (t, buf) = Tracer::ring(2);
+        for c in 0..5 {
+            t.emit(|| TraceEvent::TimerFired { cycle: c, node: 0, timer: 0 });
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 3);
+        let events = buf.drain();
+        assert_eq!(events[0].cycle(), 3);
+        assert_eq!(events[1].cycle(), 4);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn cloned_tracers_share_one_sink() {
+        let (t, buf) = Tracer::ring(8);
+        let t2 = t.clone();
+        t.emit(|| TraceEvent::JobStarted { cycle: 1, slot: slot(0) });
+        t2.emit(|| TraceEvent::JobFinished {
+            cycle: 2,
+            slot: slot(0),
+            busy_cycles: 1,
+            preemptions: 0,
+        });
+        assert_eq!(buf.len(), 2);
+    }
+}

@@ -8,9 +8,31 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use inca_obs::{Metrics, TraceEvent, Tracer};
 use parking_lot::Mutex;
 
 type Subscribers<M> = HashMap<String, Vec<Sender<(String, M)>>>;
+
+#[derive(Debug)]
+struct BusState<M> {
+    subscribers: Subscribers<M>,
+    /// Monotonic publish sequence — the bus has no virtual clock, so this
+    /// stands in as the (deterministic) trace timestamp.
+    publish_seq: u64,
+    messages_sent: u64,
+    dropped_subscribers: u64,
+}
+
+impl<M> Default for BusState<M> {
+    fn default() -> Self {
+        Self {
+            subscribers: HashMap::new(),
+            publish_seq: 0,
+            messages_sent: 0,
+            dropped_subscribers: 0,
+        }
+    }
+}
 
 /// A shared topic bus. Cloning is cheap (it's an `Arc` inside).
 ///
@@ -24,41 +46,84 @@ type Subscribers<M> = HashMap<String, Vec<Sender<(String, M)>>>;
 /// assert_eq!((topic.as_str(), msg.as_str()), ("chatter", "hello"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LiveBus<M> {
-    inner: Arc<Mutex<Subscribers<M>>>,
+    state: Arc<Mutex<BusState<M>>>,
+    tracer: Tracer,
+}
+
+impl<M> Default for LiveBus<M> {
+    fn default() -> Self {
+        Self { state: Arc::new(Mutex::new(BusState::default())), tracer: Tracer::disabled() }
+    }
 }
 
 impl<M: Clone + Send + 'static> LiveBus<M> {
     /// Creates an empty bus.
     #[must_use]
     pub fn new() -> Self {
-        Self { inner: Arc::new(Mutex::new(HashMap::new())) }
+        Self::default()
+    }
+
+    /// Installs a tracer; each publish is recorded as a
+    /// [`TraceEvent::MessagePublished`] stamped with the bus's publish
+    /// sequence number (the bus runs on wall-clock threads, so a virtual
+    /// cycle is not available).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Subscribes to `topic`, returning the receiving end of an unbounded
     /// channel of `(topic, message)` pairs.
     pub fn subscribe(&self, topic: impl Into<String>) -> Receiver<(String, M)> {
         let (tx, rx) = unbounded();
-        self.inner.lock().entry(topic.into()).or_default().push(tx);
+        self.state.lock().subscribers.entry(topic.into()).or_default().push(tx);
         rx
     }
 
     /// Publishes `msg` to all current subscribers of `topic`. Returns the
     /// number of subscribers reached. Disconnected subscribers are pruned.
     pub fn publish(&self, topic: &str, msg: M) -> usize {
-        let mut map = self.inner.lock();
-        let Some(subs) = map.get_mut(topic) else {
+        let mut st = self.state.lock();
+        let seq = st.publish_seq;
+        st.publish_seq += 1;
+        let Some(subs) = st.subscribers.get_mut(topic) else {
+            self.tracer.emit(|| TraceEvent::MessagePublished {
+                cycle: seq,
+                topic: topic.to_owned(),
+                subscribers: 0,
+            });
             return 0;
         };
+        let before = subs.len();
         subs.retain(|tx| tx.send((topic.to_owned(), msg.clone())).is_ok());
-        subs.len()
+        let reached = subs.len();
+        st.dropped_subscribers += (before - reached) as u64;
+        st.messages_sent += reached as u64;
+        self.tracer.emit(|| TraceEvent::MessagePublished {
+            cycle: seq,
+            topic: topic.to_owned(),
+            subscribers: reached as u32,
+        });
+        reached
     }
 
     /// Number of subscribers currently registered on `topic`.
     #[must_use]
     pub fn subscriber_count(&self, topic: &str) -> usize {
-        self.inner.lock().get(topic).map_or(0, Vec::len)
+        self.state.lock().subscribers.get(topic).map_or(0, Vec::len)
+    }
+
+    /// A deterministic metrics snapshot, keys prefixed `bus.`.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let st = self.state.lock();
+        let mut m = Metrics::new();
+        m.inc("bus.publishes", st.publish_seq);
+        m.inc("bus.messages.sent", st.messages_sent);
+        m.inc("bus.subscribers.dropped", st.dropped_subscribers);
+        m.inc("bus.topics", st.subscribers.len() as u64);
+        m
     }
 }
 
@@ -79,6 +144,7 @@ mod tests {
         }
         assert_eq!(h1.join().unwrap(), 6);
         assert_eq!(h2.join().unwrap(), 6);
+        assert_eq!(bus.metrics().counter("bus.messages.sent"), 6);
     }
 
     #[test]
@@ -86,6 +152,7 @@ mod tests {
         let bus: LiveBus<u32> = LiveBus::new();
         assert_eq!(bus.publish("nobody", 9), 0);
         assert_eq!(bus.subscriber_count("nobody"), 0);
+        assert_eq!(bus.metrics().counter("bus.publishes"), 1);
     }
 
     #[test]
@@ -94,5 +161,22 @@ mod tests {
         let rx = bus.subscribe("t");
         drop(rx);
         assert_eq!(bus.publish("t", 1), 0);
+        assert_eq!(bus.metrics().counter("bus.subscribers.dropped"), 1);
+    }
+
+    #[test]
+    fn publishes_are_traced_with_sequence_stamps() {
+        let (tracer, buf) = Tracer::ring(8);
+        let mut bus: LiveBus<u32> = LiveBus::new();
+        bus.set_tracer(tracer);
+        let _rx = bus.subscribe("t");
+        bus.publish("t", 1);
+        bus.publish("t", 2);
+        let events = buf.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[1],
+            TraceEvent::MessagePublished { cycle: 1, topic, subscribers: 1 } if topic == "t"
+        ));
     }
 }

@@ -5,6 +5,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use inca_accel::{AccelConfig, Backend, Engine, InterruptStrategy, JobRecord, Report, SimError};
 use inca_isa::{TaskSlot, TASK_SLOTS};
+use inca_obs::{Metrics, TraceEvent, Tracer};
 
 /// Identifies a registered [`Node`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -173,6 +174,8 @@ pub struct Runtime<M, B: Backend> {
     consumed_completions: usize,
     deadlines: Vec<DeadlineRecord>,
     messages_delivered: u64,
+    timers_fired: u64,
+    tracer: Tracer,
 }
 
 impl<M: Clone, B: Backend> Runtime<M, B> {
@@ -192,7 +195,48 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
             consumed_completions: 0,
             deadlines: Vec::new(),
             messages_delivered: 0,
+            timers_fired: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs `tracer` on the runtime **and** its embedded engine, so
+    /// middleware and datapath events interleave in one stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.engine.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// A deterministic metrics snapshot: the engine's metrics plus
+    /// `runtime.`-prefixed middleware counters. The deadline counters are
+    /// derived exactly as [`Runtime::report`] derives its records, so
+    /// `runtime.deadlines.missed` always equals the report's
+    /// [`RuntimeReport::deadline_misses`].
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let mut m = self.engine.metrics();
+        m.inc("runtime.messages.delivered", self.messages_delivered);
+        m.inc("runtime.timers.fired", self.timers_fired);
+        let met = self.deadlines.iter().filter(|d| d.met()).count() as u64;
+        let late = self.deadlines.iter().filter(|d| !d.met()).count() as u64;
+        let outstanding: u64 = self
+            .waiting
+            .iter()
+            .flat_map(|q| q.iter())
+            .filter(|(_, _, deadline)| deadline.is_some())
+            .count() as u64;
+        m.inc("runtime.deadlines.met", met);
+        m.inc("runtime.deadlines.missed", late + outstanding);
+        for d in &self.deadlines {
+            if let Some(finish) = d.finish {
+                if finish <= d.deadline {
+                    m.observe("runtime.deadline.slack_cycles", d.deadline - finish);
+                } else {
+                    m.observe("runtime.deadline.overrun_cycles", finish - d.deadline);
+                }
+            }
+        }
+        m
     }
 
     /// The embedded engine (e.g. to `load` programs or install images).
@@ -242,15 +286,26 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
         let report = self.engine.report();
         let new = &report.completed_jobs[self.consumed_completions..];
         for rec in new {
-            if let Some((handle, node, deadline)) =
-                self.waiting[rec.slot.index()].pop_front()
-            {
+            if let Some((handle, node, deadline)) = self.waiting[rec.slot.index()].pop_front() {
                 if let Some(d) = deadline {
                     self.deadlines.push(DeadlineRecord {
                         job: handle,
                         slot: rec.slot,
                         deadline: d,
                         finish: Some(rec.finish),
+                    });
+                    let (cycle, slot) = (rec.finish, rec.slot);
+                    self.tracer.emit(|| {
+                        if cycle <= d {
+                            TraceEvent::DeadlineMet { cycle, slot, deadline: d, slack: d - cycle }
+                        } else {
+                            TraceEvent::DeadlineMissed {
+                                cycle,
+                                slot,
+                                deadline: d,
+                                overrun: cycle - d,
+                            }
+                        }
                     });
                 }
                 self.push_event(
@@ -266,19 +321,25 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
         type Callback<'f, M> = Box<dyn FnOnce(&mut dyn Node<M>, &mut NodeContext<'_, M>) + 'f>;
         let mut actions: Vec<(NodeId, Action<M>)> = Vec::new();
         {
-            let (node_id, run): (NodeId, Callback<'_, M>) =
-                match kind {
-                    EventKind::Deliver { node, topic, msg } => {
-                        self.messages_delivered += 1;
-                        (node, Box::new(move |n, ctx| n.on_message(ctx, &topic, &msg)))
-                    }
-                    EventKind::Timer { node, timer } => {
-                        (node, Box::new(move |n, ctx| n.on_timer(ctx, timer)))
-                    }
-                    EventKind::AccelDone { node, job, record } => {
-                        (node, Box::new(move |n, ctx| n.on_accel_done(ctx, job, &record)))
-                    }
-                };
+            let (node_id, run): (NodeId, Callback<'_, M>) = match kind {
+                EventKind::Deliver { node, topic, msg } => {
+                    self.messages_delivered += 1;
+                    (node, Box::new(move |n, ctx| n.on_message(ctx, &topic, &msg)))
+                }
+                EventKind::Timer { node, timer } => {
+                    self.timers_fired += 1;
+                    let cycle = self.now;
+                    self.tracer.emit(|| TraceEvent::TimerFired {
+                        cycle,
+                        node: node.0 as u32,
+                        timer,
+                    });
+                    (node, Box::new(move |n, ctx| n.on_timer(ctx, timer)))
+                }
+                EventKind::AccelDone { node, job, record } => {
+                    (node, Box::new(move |n, ctx| n.on_accel_done(ctx, job, &record)))
+                }
+            };
             let mut node = match self.nodes.get_mut(node_id.0).and_then(Option::take) {
                 Some(n) => n,
                 None => return Ok(()), // node removed or re-entrant: drop event
@@ -298,10 +359,22 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
             match action {
                 Action::Publish { topic, msg } => {
                     let subs = self.subscriptions.get(&topic).cloned().unwrap_or_default();
+                    {
+                        let (cycle, subscribers) = (self.now, subs.len() as u32);
+                        self.tracer.emit(|| TraceEvent::MessagePublished {
+                            cycle,
+                            topic: topic.clone(),
+                            subscribers,
+                        });
+                    }
                     for sub in subs {
                         self.push_event(
                             self.now,
-                            EventKind::Deliver { node: sub, topic: topic.clone(), msg: msg.clone() },
+                            EventKind::Deliver {
+                                node: sub,
+                                topic: topic.clone(),
+                                msg: msg.clone(),
+                            },
                         );
                     }
                 }
@@ -327,10 +400,7 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
         loop {
             // Let the accelerator catch up to the next middleware event (or
             // the deadline), surfacing completions as events.
-            let horizon = self
-                .queue
-                .peek()
-                .map_or(deadline, |Reverse((t, _))| (*t).min(deadline));
+            let horizon = self.queue.peek().map_or(deadline, |Reverse((t, _))| (*t).min(deadline));
             self.engine.run_until(horizon)?;
             self.drain_engine_completions();
 
@@ -346,11 +416,7 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
                     // finish whatever is in flight up to the deadline.
                     self.engine.run_until(deadline)?;
                     self.drain_engine_completions();
-                    if self
-                        .queue
-                        .peek()
-                        .is_none_or(|Reverse((t, _))| *t > deadline)
-                    {
+                    if self.queue.peek().is_none_or(|Reverse((t, _))| *t > deadline) {
                         break;
                     }
                 }
@@ -471,9 +537,7 @@ mod tests {
         let mut rt = runtime();
         let slot = TaskSlot::new(1).unwrap();
         let compiler = Compiler::new(rt.engine().config().arch);
-        let program = compiler
-            .compile_vi(&zoo::tiny(Shape3::new(3, 32, 32)).unwrap())
-            .unwrap();
+        let program = compiler.compile_vi(&zoo::tiny(Shape3::new(3, 32, 32)).unwrap()).unwrap();
         rt.engine_mut().load(slot, program).unwrap();
 
         let period = rt.engine().config().us_to_cycles(50_000.0); // 20 fps
@@ -565,9 +629,7 @@ mod tests {
         let mut rt = runtime();
         let slot = TaskSlot::new(2).unwrap();
         let compiler = Compiler::new(rt.engine().config().arch);
-        let program = compiler
-            .compile_vi(&zoo::tiny(Shape3::new(3, 16, 16)).unwrap())
-            .unwrap();
+        let program = compiler.compile_vi(&zoo::tiny(Shape3::new(3, 16, 16)).unwrap()).unwrap();
         rt.engine_mut().load(slot, program).unwrap();
         let completed = Rc::new(RefCell::new(0u32));
         let node = rt.add_node(Repeater { slot, remaining: 4, completed: Rc::clone(&completed) });
@@ -609,9 +671,7 @@ mod tests {
         let slot = TaskSlot::new(1).unwrap();
         let compiler = Compiler::new(rt.engine().config().arch);
         // A big-ish program with an impossible deadline.
-        let program = compiler
-            .compile_vi(&zoo::tiny(Shape3::new(3, 64, 64)).unwrap())
-            .unwrap();
+        let program = compiler.compile_vi(&zoo::tiny(Shape3::new(3, 64, 64)).unwrap()).unwrap();
         rt.engine_mut().load(slot, program).unwrap();
         let cam = rt.add_node(Camera { period: 1_000, frames: 1, sent: 0 });
         let fe = rt.add_node(Fe { slot, deadline: 1, in_flight: None, done: vec![] });

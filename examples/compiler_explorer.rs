@@ -69,7 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let bin = vi.to_bin();
         println!("  instruction.bin: {} bytes", bin.len());
-        let decoded = Program::from_bin(vi.name.clone(), &bin, vi.layers.clone(), vi.memory.clone())?;
+        let decoded =
+            Program::from_bin(vi.name.clone(), &bin, vi.layers.clone(), vi.memory.clone())?;
         assert_eq!(decoded.instrs, vi.instrs, "binary round trip");
         print!("  histogram    :");
         for (op, n) in histogram(&vi) {

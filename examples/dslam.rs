@@ -7,17 +7,20 @@
 //! ```sh
 //! cargo run --release --example dslam            # paper-scale 480x640
 //! cargo run --example dslam -- --small           # fast small-scale run
+//! cargo run --example dslam -- --small --trace   # + write dslam_trace.json
 //! ```
+//!
+//! `--trace` records the full mission (engine, runtime and application
+//! events for both agents) and writes a Chrome trace-event JSON file,
+//! `dslam_trace.json`, that loads directly in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
 
 use inca::dslam::mission::{Mission, MissionConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let small = std::env::args().any(|a| a == "--small");
-    let mut cfg = if small {
-        MissionConfig::small_test()
-    } else {
-        MissionConfig::default()
-    };
+    let trace = std::env::args().any(|a| a == "--trace");
+    let mut cfg = if small { MissionConfig::small_test() } else { MissionConfig::default() };
     if small {
         cfg.duration_s = 3.0;
     } else {
@@ -34,7 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mission.fe_program().len(),
         mission.pr_program().len()
     );
-    let outcome = mission.run()?;
+    let outcome = if trace {
+        let (outcome, mission_trace) = mission.run_traced(1 << 20)?;
+        let path = "dslam_trace.json";
+        std::fs::write(path, mission_trace.chrome_json())?;
+        let kept: usize = mission_trace.agents.iter().map(|a| a.events.len()).sum();
+        let dropped: u64 = mission_trace.agents.iter().map(|a| a.dropped).sum();
+        println!(
+            "wrote {path} ({kept} events, {dropped} dropped) — open it at https://ui.perfetto.dev"
+        );
+        outcome
+    } else {
+        mission.run()?
+    };
 
     for (i, agent) in outcome.agents.iter().enumerate() {
         println!("\nagent {i}:");
@@ -51,11 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  VO tracking failures : {}", agent.vo_failures);
         println!("  trajectory ATE       : {:.3} m", agent.map.ate());
         if !agent.interrupts.is_empty() {
-            let lat_us: Vec<f64> = agent
-                .interrupts
-                .iter()
-                .map(|e| accel.cycles_to_us(e.latency()))
-                .collect();
+            let lat_us: Vec<f64> =
+                agent.interrupts.iter().map(|e| accel.cycles_to_us(e.latency())).collect();
             let mean = lat_us.iter().sum::<f64>() / lat_us.len() as f64;
             let max = lat_us.iter().copied().fold(0.0, f64::max);
             println!(

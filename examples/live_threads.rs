@@ -78,8 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 for j in &report.completed_jobs[consumed..] {
                     if let Some(pos) = waiting.iter().position(|(s, _)| *s == j.slot) {
                         let (_, done) = waiting.swap_remove(pos);
-                        let _ =
-                            done.send((cfg.cycles_to_us(j.response()), j.preemptions));
+                        let _ = done.send((cfg.cycles_to_us(j.response()), j.preemptions));
                     }
                 }
                 consumed = report.completed_jobs.len();

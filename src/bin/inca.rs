@@ -78,10 +78,7 @@ fn parse_strategy(s: &str) -> Result<InterruptStrategy, String> {
 
 /// Fetches the value following `--flag`, if present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn cmd_networks() -> Result<(), String> {
@@ -109,12 +106,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
 
     let net = network_by_name(name, input)?;
     let compiler = Compiler::new(arch);
-    let program = if no_vi {
-        compiler.compile(&net)
-    } else {
-        compiler.compile_vi(&net)
-    }
-    .map_err(|e| e.to_string())?;
+    let program = if no_vi { compiler.compile(&net) } else { compiler.compile_vi(&net) }
+        .map_err(|e| e.to_string())?;
     let bytes = container::encode_container(&program);
     std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
     let s = program.stats();
@@ -280,10 +273,8 @@ mod tests {
 
     #[test]
     fn flag_value_lookup() {
-        let args: Vec<String> = ["a", "-o", "out.bin", "--limit", "5"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let args: Vec<String> =
+            ["a", "-o", "out.bin", "--limit", "5"].iter().map(ToString::to_string).collect();
         assert_eq!(flag_value(&args, "-o"), Some("out.bin"));
         assert_eq!(flag_value(&args, "--limit"), Some("5"));
         assert_eq!(flag_value(&args, "--missing"), None);
@@ -302,18 +293,11 @@ mod tests {
         let dir = std::env::temp_dir().join("inca_cli_test");
         let _ = std::fs::create_dir_all(&dir);
         let out = dir.join("tiny.bin");
-        let args: Vec<String> = [
-            "tiny",
-            "-o",
-            out.to_str().unwrap(),
-            "--arch",
-            "small",
-            "--input",
-            "3,32,32",
-        ]
-        .iter()
-        .map(ToString::to_string)
-        .collect();
+        let args: Vec<String> =
+            ["tiny", "-o", out.to_str().unwrap(), "--arch", "small", "--input", "3,32,32"]
+                .iter()
+                .map(ToString::to_string)
+                .collect();
         cmd_compile(&args).unwrap();
         let stat_args = vec![out.to_str().unwrap().to_string()];
         cmd_stats(&stat_args).unwrap();

@@ -17,6 +17,8 @@
 //! * [`accel`] — the accelerator engine: timing simulation, bit-exact
 //!   functional simulation, the IAU, and four interrupt strategies;
 //! * [`runtime`] — ROS-like middleware with deadline accounting;
+//! * [`obs`] — deterministic cycle-accurate tracing + metrics with
+//!   Perfetto/Chrome-trace, JSON and ASCII exporters;
 //! * [`dslam`] — the two-agent distributed-SLAM evaluation application.
 //!
 //! ## Quickstart
@@ -56,4 +58,5 @@ pub use inca_compiler as compiler;
 pub use inca_dslam as dslam;
 pub use inca_isa as isa;
 pub use inca_model as model;
+pub use inca_obs as obs;
 pub use inca_runtime as runtime;

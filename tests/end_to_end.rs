@@ -23,11 +23,7 @@ fn full_pipeline_binary_round_trip() {
     assert_eq!(decoded.instrs, vi.instrs);
     // Interrupt-point structure is recoverable from the stream itself
     // (empty points excluded — they carry no virtual instructions).
-    let nonempty = vi
-        .interrupt_points
-        .iter()
-        .filter(|p| !p.vir_range().is_empty())
-        .count();
+    let nonempty = vi.interrupt_points.iter().filter(|p| !p.vir_range().is_empty()).count();
     assert_eq!(decoded.interrupt_points.len(), nonempty);
 }
 
@@ -69,11 +65,7 @@ fn decoded_binary_runs_identically() {
         engine.load(slot, program.clone()).unwrap();
         engine.request_at(0, slot).unwrap();
         let report = engine.run().unwrap();
-        let out = engine
-            .backend()
-            .image(slot)
-            .unwrap()
-            .read_output(program.layers.last().unwrap());
+        let out = engine.backend().image(slot).unwrap().read_output(program.layers.last().unwrap());
         (report.final_cycle, out)
     };
     assert_eq!(run(vi), run(decoded));

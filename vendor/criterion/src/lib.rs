@@ -153,7 +153,8 @@ mod tests {
 
     #[test]
     fn harness_runs_and_reports() {
-        let mut c = Criterion { warmup: Duration::from_millis(5), measure: Duration::from_millis(10) };
+        let mut c =
+            Criterion { warmup: Duration::from_millis(5), measure: Duration::from_millis(10) };
         let mut g = c.benchmark_group("smoke");
         g.throughput(Throughput::Elements(1));
         let mut ran = 0u64;

@@ -116,9 +116,7 @@ pub mod thread {
             T: Send + 'scope,
         {
             let inner = self.inner;
-            ScopedJoinHandle {
-                inner: inner.spawn(move || f(&Scope { inner })),
-            }
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
         }
     }
 
@@ -169,7 +167,7 @@ mod tests {
 
     #[test]
     fn scoped_threads_borrow_stack() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let mut out = vec![0u64; 2];
         super::thread::scope(|s| {
             let (a, b) = out.split_at_mut(1);
