@@ -114,6 +114,20 @@ pub trait Backend {
     ///
     /// [`SimError::NoSnapshot`] when no snapshot exists.
     fn restore(&mut self, slot: TaskSlot) -> Result<(), SimError>;
+
+    /// A slot-virtualizing scheduler bound logical context `ctx` to `slot`
+    /// (the slot's program is being time-shared between more tasks than
+    /// there are slots). Stateful backends swap the slot's DDR image for
+    /// the context's; the default (timing-only) implementation is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject a rebind while the slot's state cannot
+    /// be swapped; the default never fails.
+    fn rebind(&mut self, slot: TaskSlot, ctx: u64) -> Result<(), SimError> {
+        let _ = (slot, ctx);
+        Ok(())
+    }
 }
 
 /// The timing-only backend: instructions have cost but no data semantics.

@@ -523,6 +523,14 @@ impl<B: Backend> Engine<B> {
         Ok(())
     }
 
+    /// The program currently loaded in `slot`, if any (shared handle; a
+    /// slot-virtualizing scheduler uses this to detect reload-free
+    /// rebinds).
+    #[must_use]
+    pub fn loaded_program(&self, slot: TaskSlot) -> Option<&Arc<Program>> {
+        self.slots[slot.index()].program.as_ref()
+    }
+
     /// State of a slot.
     #[must_use]
     pub fn task_state(&self, slot: TaskSlot) -> TaskState {
@@ -994,9 +1002,30 @@ impl<B: Backend> Engine<B> {
     ///
     /// Propagates backend errors.
     pub fn run_until(&mut self, deadline: u64) -> Result<(), SimError> {
+        self.run_inner(deadline, false).map(|_| ())
+    }
+
+    /// Like [`Engine::run_until`], but additionally stops right after any
+    /// job completes. Returns `true` when it stopped because of a
+    /// completion (a slot-virtualizing scheduler uses this to re-bind
+    /// freed slots at the exact completion cycle instead of at the next
+    /// deadline barrier).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn run_until_complete(&mut self, deadline: u64) -> Result<bool, SimError> {
+        self.run_inner(deadline, true)
+    }
+
+    fn run_inner(&mut self, deadline: u64, stop_on_complete: bool) -> Result<bool, SimError> {
+        let completed_base = self.completed.len();
         loop {
+            if stop_on_complete && self.completed.len() > completed_base {
+                return Ok(true);
+            }
             if self.now >= deadline {
-                return Ok(());
+                return Ok(false);
             }
             self.release_due();
             let best = self.best_ready();
@@ -1005,7 +1034,7 @@ impl<B: Backend> Engine<B> {
                     // Idle: jump to the next arrival, or stop.
                     match self.arrivals.peek() {
                         Some(&Reverse((t, _, _))) => self.now = t.min(deadline),
-                        None => return Ok(()),
+                        None => return Ok(false),
                     }
                 }
                 (None, Some(s)) => self.dispatch(s)?,

@@ -271,6 +271,12 @@ pub enum CalcKernel {
 #[derive(Debug, Clone)]
 pub struct FuncBackend {
     images: [Option<DdrImage>; TASK_SLOTS],
+    /// Parked DDR images of logical scheduler contexts not currently bound
+    /// to any slot (`BTreeMap` for deterministic iteration/debug output).
+    ctx_images: std::collections::BTreeMap<u64, DdrImage>,
+    /// Which logical context owns each slot's image, for slot-virtualized
+    /// execution (`None` for plain fixed-slot use).
+    bound_ctx: [Option<u64>; TASK_SLOTS],
     bufs: Buffers,
     owner: Option<TaskSlot>,
     snapshots: [Option<Buffers>; TASK_SLOTS],
@@ -284,6 +290,8 @@ impl Default for FuncBackend {
     fn default() -> Self {
         Self {
             images: Default::default(),
+            ctx_images: std::collections::BTreeMap::new(),
+            bound_ctx: [None; TASK_SLOTS],
             bufs: Buffers::default(),
             owner: None,
             snapshots: Default::default(),
@@ -351,6 +359,34 @@ impl FuncBackend {
     #[must_use]
     pub fn image_mut(&mut self, slot: TaskSlot) -> Option<&mut DdrImage> {
         self.images[slot.index()].as_mut()
+    }
+
+    /// Installs the DDR image backing logical context `ctx` (a
+    /// slot-virtualizing scheduler task). The image follows the context
+    /// across slot rebinds — see [`Backend::rebind`].
+    pub fn install_ctx_image(&mut self, ctx: u64, image: DdrImage) {
+        match self.bound_ctx.iter().position(|c| *c == Some(ctx)) {
+            Some(slot) => self.images[slot] = Some(image),
+            None => {
+                self.ctx_images.insert(ctx, image);
+            }
+        }
+    }
+
+    /// The image backing logical context `ctx`, whether currently bound to
+    /// a slot or parked.
+    #[must_use]
+    pub fn ctx_image(&self, ctx: u64) -> Option<&DdrImage> {
+        match self.bound_ctx.iter().position(|c| *c == Some(ctx)) {
+            Some(slot) => self.images[slot].as_ref(),
+            None => self.ctx_images.get(&ctx),
+        }
+    }
+
+    /// The logical context currently bound to `slot`, if any.
+    #[must_use]
+    pub fn bound_ctx(&self, slot: TaskSlot) -> Option<u64> {
+        self.bound_ctx[slot.index()]
     }
 
     /// Total bytes `SAVE`/`VIR_SAVE` wrote to `slot`'s DDR image.
@@ -556,6 +592,36 @@ impl Backend for FuncBackend {
         let snap = self.snapshots[slot.index()].take().ok_or(SimError::NoSnapshot(slot))?;
         self.bufs = snap;
         self.owner = Some(slot);
+        Ok(())
+    }
+
+    fn rebind(&mut self, slot: TaskSlot, ctx: u64) -> Result<(), SimError> {
+        let idx = slot.index();
+        if self.bound_ctx[idx] == Some(ctx) {
+            return Ok(());
+        }
+        // A fixed-slot image installed via `install_image` has no owning
+        // context; silently replacing it would lose data.
+        if self.bound_ctx[idx].is_none() && self.images[idx].is_some() {
+            return Err(SimError::Engine(format!(
+                "{slot} holds an unmanaged image; cannot rebind"
+            )));
+        }
+        // Detach the context from any slot it previously occupied.
+        if let Some(other) = self.bound_ctx.iter().position(|c| *c == Some(ctx)) {
+            if let Some(img) = self.images[other].take() {
+                self.ctx_images.insert(ctx, img);
+            }
+            self.bound_ctx[other] = None;
+        }
+        // Park whatever context occupied the target slot.
+        if let Some(prev) = self.bound_ctx[idx].take() {
+            if let Some(img) = self.images[idx].take() {
+                self.ctx_images.insert(prev, img);
+            }
+        }
+        self.images[idx] = self.ctx_images.remove(&ctx);
+        self.bound_ctx[idx] = Some(ctx);
         Ok(())
     }
 }

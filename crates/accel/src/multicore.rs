@@ -196,4 +196,113 @@ mod tests {
             TimingBackend::new,
         );
     }
+
+    #[test]
+    fn request_on_unloaded_slot_errors() {
+        let mut pool = CorePool::new(
+            2,
+            AccelConfig::paper_big(),
+            InterruptStrategy::NonPreemptive,
+            TimingBackend::new,
+        );
+        let slot = TaskSlot::new(1).unwrap();
+        pool.load(CoreId(0), slot, tiny()).unwrap();
+        // Core 1 has no program in that slot: per-core isolation means the
+        // load on core 0 must not leak over.
+        assert!(pool.request_at(0, CoreId(0), slot).is_ok());
+        assert!(matches!(pool.request_at(0, CoreId(1), slot), Err(SimError::EmptySlot(_))));
+    }
+
+    #[test]
+    fn run_until_advances_every_core_to_the_deadline() {
+        let mut pool = CorePool::new(
+            3,
+            AccelConfig::paper_big(),
+            InterruptStrategy::NonPreemptive,
+            TimingBackend::new,
+        );
+        let slot = TaskSlot::new(2).unwrap();
+        let p = Arc::new(tiny());
+        for core in 0..3 {
+            pool.load(CoreId(core), slot, Arc::clone(&p)).unwrap();
+        }
+        // Only cores 0 and 2 get work; core 1 idles but still advances.
+        pool.request_at(0, CoreId(0), slot).unwrap();
+        pool.request_at(0, CoreId(2), slot).unwrap();
+
+        // A deadline before the makespan completes nothing...
+        pool.run_until(10).unwrap();
+        assert!(pool.reports().iter().all(|r| r.completed_jobs.is_empty()));
+        // ...and a generous one completes exactly the requested jobs.
+        pool.run_until(1_000_000_000).unwrap();
+        let reports = pool.reports();
+        assert_eq!(reports.len(), 3, "reports are indexed by core id");
+        assert_eq!(reports[0].completed_jobs.len(), 1);
+        assert_eq!(reports[1].completed_jobs.len(), 0);
+        assert_eq!(reports[2].completed_jobs.len(), 1);
+        // Idle cores share the clock but record no events.
+        assert!(reports[1].events.is_empty());
+    }
+
+    #[test]
+    fn per_core_reports_aggregate_partitioned_work() {
+        let mut pool = CorePool::new(
+            2,
+            AccelConfig::paper_big(),
+            InterruptStrategy::NonPreemptive,
+            TimingBackend::new,
+        );
+        let slot = TaskSlot::new(1).unwrap();
+        let p = Arc::new(tiny());
+        pool.load(CoreId(0), slot, Arc::clone(&p)).unwrap();
+        pool.load(CoreId(1), slot, Arc::clone(&p)).unwrap();
+        // Core 0 runs two back-to-back jobs, core 1 runs one.
+        pool.request_at(0, CoreId(0), slot).unwrap();
+        pool.request_at(1, CoreId(0), slot).unwrap();
+        pool.request_at(0, CoreId(1), slot).unwrap();
+        let reports = pool.run().unwrap();
+        let per_core: Vec<usize> = reports.iter().map(|r| r.completed_jobs.len()).collect();
+        assert_eq!(per_core, vec![2, 1]);
+        let total: usize = per_core.iter().sum();
+        assert_eq!(total, 3, "pool-wide job count is the sum of the partitions");
+        // Partitioning serialises within a core: core 0's second job waits
+        // for its first, so it finishes later than core 1's only job.
+        assert!(
+            reports[0].completed_jobs[1].finish > reports[1].completed_jobs[0].finish,
+            "back-to-back jobs on one core serialise"
+        );
+    }
+
+    #[test]
+    fn resource_cost_folds_linearly_over_cores() {
+        let cost_of = |n: usize| {
+            CorePool::new(
+                n,
+                AccelConfig::paper_big(),
+                InterruptStrategy::VirtualInstruction,
+                TimingBackend::new,
+            )
+            .resource_cost()
+        };
+        let (c1, c3) = (cost_of(1), cost_of(3));
+        assert_eq!(c3.dsp, 3 * c1.dsp, "3 preemptive cores cost 3x the DSPs");
+        assert_eq!(c3.lut, 3 * c1.lut);
+        assert_eq!(c3.ff, 3 * c1.ff);
+        assert_eq!(c3.bram, 3 * c1.bram);
+        // Preemptive cores each carry an IAU on top of the datapath.
+        let plain = cnn_accelerator(AccelConfig::paper_big().arch.parallelism);
+        assert_eq!(c1.lut, (plain + iau()).lut);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn core_mut_out_of_range_panics() {
+        let mut pool = CorePool::new(
+            1,
+            AccelConfig::paper_big(),
+            InterruptStrategy::NonPreemptive,
+            TimingBackend::new,
+        );
+        let _ = pool.core_mut(CoreId(1));
+    }
 }

@@ -24,7 +24,9 @@ use inca_compiler::Compiler;
 use inca_isa::{Program, Shape3, TaskSlot};
 use inca_model::zoo;
 use inca_obs::{ChromeTrace, Metrics, TraceEvent, Tracer};
-use inca_runtime::{JobHandle, Node, NodeContext, Runtime};
+use inca_runtime::{
+    DropPolicy, JobHandle, Node, NodeContext, Runtime, SchedPolicy, Scheduler, TaskId, TaskSpec,
+};
 
 use crate::camera::{Camera, CameraConfig, Frame};
 use crate::features::{FeatureExtractor, Keypoint};
@@ -57,6 +59,14 @@ pub struct MissionConfig {
     /// Run intra-agent loop-closure pose-graph relaxation after the
     /// mission (bounds VO drift before merging).
     pub loop_closure: bool,
+    /// Number of best-effort background tasks sharing each agent's
+    /// accelerator (a swarm of auxiliary CNNs: obstacle nets, gesture
+    /// nets, …). `0` (the default) keeps the classic direct-slot mission;
+    /// any other value routes FE, PR *and* the swarm through the
+    /// slot-virtualizing [`Scheduler`]: FE at priority 0 with the frame
+    /// period as deadline, PR at priority 2, the swarm at priority 3 on
+    /// drop-oldest queues.
+    pub background_tasks: usize,
 }
 
 impl Default for MissionConfig {
@@ -75,6 +85,7 @@ impl Default for MissionConfig {
             pr_input: Shape3::new(3, 480, 640),
             merge_threshold: 0.90,
             loop_closure: true,
+            background_tasks: 0,
         }
     }
 }
@@ -106,6 +117,9 @@ pub struct AgentOutcome {
     pub deadline_misses: usize,
     /// PR passes completed.
     pub pr_completed: u32,
+    /// Background swarm jobs completed (0 unless
+    /// [`MissionConfig::background_tasks`] is set).
+    pub background_completed: u64,
     /// VO tracking failures.
     pub vo_failures: u32,
     /// Intra-agent loop closures applied by the pose-graph relaxation.
@@ -190,8 +204,16 @@ impl Node<Msg> for CameraNode {
     }
 }
 
+/// Where a node's accelerator jobs go: a fixed physical slot (the classic
+/// mission) or a logical task on the installed scheduler (swarm mode).
+#[derive(Clone, Copy)]
+enum AccelTarget {
+    Slot(TaskSlot),
+    Task(TaskId),
+}
+
 struct FeNode {
-    slot: TaskSlot,
+    target: AccelTarget,
     period_cycles: u64,
     extractor: FeatureExtractor,
     pending: Option<Arc<Frame>>,
@@ -210,7 +232,16 @@ impl Node<Msg> for FeNode {
             return;
         }
         self.pending = Some(Arc::clone(frame));
-        let _ = ctx.submit_accel_with_deadline(self.slot, ctx.now() + self.period_cycles);
+        match self.target {
+            AccelTarget::Slot(slot) => {
+                let _ = ctx.submit_accel_with_deadline(slot, ctx.now() + self.period_cycles);
+            }
+            // The scheduler already carries the frame-period deadline in
+            // the FE task spec.
+            AccelTarget::Task(task) => {
+                let _ = ctx.submit_task(task);
+            }
+        }
     }
     fn on_accel_done(&mut self, ctx: &mut NodeContext<'_, Msg>, _j: JobHandle, _r: &JobRecord) {
         // The CNN backbone finished; the FE post-processing block (NMS +
@@ -254,7 +285,7 @@ impl Node<Msg> for VoNode {
 }
 
 struct PrNode {
-    slot: TaskSlot,
+    target: AccelTarget,
     recognizer: PlaceRecognizer,
     snapshot: Option<Arc<Frame>>,
     started: bool,
@@ -266,7 +297,14 @@ impl PrNode {
     fn submit(&mut self, ctx: &mut NodeContext<'_, Msg>, frame: Arc<Frame>) {
         self.snapshot = Some(frame);
         self.started = true;
-        let _ = ctx.submit_accel(self.slot);
+        match self.target {
+            AccelTarget::Slot(slot) => {
+                let _ = ctx.submit_accel(slot);
+            }
+            AccelTarget::Task(task) => {
+                let _ = ctx.submit_task(task);
+            }
+        }
     }
 }
 
@@ -308,11 +346,32 @@ impl Node<Msg> for PrNode {
     }
 }
 
+/// Best-effort background swarm: re-submits every auxiliary task once per
+/// frame period; the drop-oldest queues absorb whatever the accelerator
+/// cannot serve.
+struct SwarmNode {
+    tasks: Vec<TaskId>,
+    period_cycles: u64,
+}
+
+impl Node<Msg> for SwarmNode {
+    fn name(&self) -> &str {
+        "bg-swarm"
+    }
+    fn on_timer(&mut self, ctx: &mut NodeContext<'_, Msg>, _t: u32) {
+        for &task in &self.tasks {
+            let _ = ctx.submit_task(task);
+        }
+        ctx.schedule_timer(self.period_cycles, 0);
+    }
+}
+
 /// The mission driver.
 pub struct Mission {
     config: MissionConfig,
     fe_program: Program,
     pr_program: Program,
+    bg_program: Option<Program>,
     world: Arc<World>,
 }
 
@@ -334,8 +393,15 @@ impl Mission {
             zoo::gem_resnet101(config.pr_input).map_err(inca_compiler::CompileError::Model)?;
         let fe_program = compiler.compile_vi(&fe_net)?;
         let pr_program = compiler.compile_vi(&pr_net)?;
+        let bg_program = if config.background_tasks > 0 {
+            let bg_net =
+                zoo::tiny(Shape3::new(3, 32, 32)).map_err(inca_compiler::CompileError::Model)?;
+            Some(compiler.compile_vi(&bg_net)?)
+        } else {
+            None
+        };
         let world = Arc::new(World::paper_arena(config.seed));
-        Ok(Self { config, fe_program, pr_program, world })
+        Ok(Self { config, fe_program, pr_program, bg_program, world })
     }
 
     /// The compiled FE program (for inspection).
@@ -356,16 +422,46 @@ impl Mission {
         tracer: &Tracer,
     ) -> Result<(AgentOutcome, Metrics), DslamError> {
         let cfg = &self.config;
-        let fe_slot = TaskSlot::new(1).expect("slot 1");
-        let pr_slot = TaskSlot::new(3).expect("slot 3");
         let mut rt: Runtime<Msg, TimingBackend> =
             Runtime::new(cfg.accel, cfg.strategy, TimingBackend::new());
         rt.set_tracer(tracer.clone());
-        rt.engine_mut().load(fe_slot, self.fe_program.clone())?;
-        rt.engine_mut().load(pr_slot, self.pr_program.clone())?;
+        let period_cycles = cfg.accel.us_to_cycles(cfg.camera.period_s() * 1e6);
+
+        // Swarm mode: everything (FE, PR and the background tasks) goes
+        // through the slot-virtualizing scheduler. Classic mode: FE and PR
+        // own fixed physical slots, exactly as the paper deploys them.
+        let (fe_target, pr_target, bg_tasks) = if cfg.background_tasks > 0 {
+            rt.install_scheduler(Scheduler::new(cfg.accel, SchedPolicy::FixedPriority));
+            let bg_program =
+                Arc::new(self.bg_program.clone().expect("bg program compiled in Mission::new"));
+            let fe = rt.register_task(
+                TaskSpec::new("fe", Arc::new(self.fe_program.clone()))
+                    .priority(0)
+                    .deadline(period_cycles)
+                    .queue(2, DropPolicy::Reject),
+            )?;
+            let pr = rt.register_task(
+                TaskSpec::new("pr", Arc::new(self.pr_program.clone())).priority(2),
+            )?;
+            let bg = (0..cfg.background_tasks)
+                .map(|i| {
+                    rt.register_task(
+                        TaskSpec::new(format!("bg{i}"), Arc::clone(&bg_program))
+                            .priority(3)
+                            .queue(1, DropPolicy::DropOldest),
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            (AccelTarget::Task(fe), AccelTarget::Task(pr), bg)
+        } else {
+            let fe_slot = TaskSlot::new(1).expect("slot 1");
+            let pr_slot = TaskSlot::new(3).expect("slot 3");
+            rt.engine_mut().load(fe_slot, self.fe_program.clone())?;
+            rt.engine_mut().load(pr_slot, self.pr_program.clone())?;
+            (AccelTarget::Slot(fe_slot), AccelTarget::Slot(pr_slot), Vec::new())
+        };
 
         let state: Shared = Rc::default();
-        let period_cycles = cfg.accel.us_to_cycles(cfg.camera.period_s() * 1e6);
         let frames_total = (cfg.duration_s * cfg.camera.fps).floor() as u32;
         let trajectory = if agent == 0 { Trajectory::agent0() } else { Trajectory::agent1() };
         let camera = Camera::new(cfg.camera, cfg.seed ^ ((agent as u64 + 1) * 0x9e37));
@@ -379,7 +475,7 @@ impl Mission {
             state: Rc::clone(&state),
         });
         let fe = rt.add_node(FeNode {
-            slot: fe_slot,
+            target: fe_target,
             period_cycles,
             extractor: FeatureExtractor::default(),
             pending: None,
@@ -387,7 +483,7 @@ impl Mission {
         });
         let vo = rt.add_node(VoNode { state: Rc::clone(&state) });
         let pr = rt.add_node(PrNode {
-            slot: pr_slot,
+            target: pr_target,
             recognizer: PlaceRecognizer::default(),
             snapshot: None,
             started: false,
@@ -398,11 +494,17 @@ impl Mission {
         rt.subscribe(pr, "camera/image");
         rt.subscribe(vo, "fe/features");
         rt.schedule_timer(cam, 0, 0);
+        if !bg_tasks.is_empty() {
+            let swarm = rt.add_node(SwarmNode { tasks: bg_tasks.clone(), period_cycles });
+            rt.schedule_timer(swarm, 0, 0);
+        }
 
         let deadline = cfg.accel.us_to_cycles(cfg.duration_s * 1e6);
         rt.run_until(deadline)?;
         let report = rt.report();
         let mut metrics = rt.metrics();
+        let background_completed =
+            rt.scheduler().map_or(0, |s| bg_tasks.iter().map(|&t| s.stats(t).completed).sum());
         drop(rt); // release the nodes' clones of the shared state
 
         let mut st = Rc::try_unwrap(state)
@@ -426,6 +528,7 @@ impl Mission {
         metrics.inc("dslam.fe.completed", u64::from(st.fe_completed));
         metrics.inc("dslam.fe.dropped", u64::from(st.fe_dropped));
         metrics.inc("dslam.pr.completed", u64::from(st.pr_completed));
+        metrics.inc("dslam.bg.completed", background_completed);
         metrics
             .inc("dslam.vo.failures", u64::from(st.vo.as_ref().map_or(0, |v| v.tracking_failures)));
         metrics.inc("dslam.loop_closures", loop_closures as u64);
@@ -435,6 +538,7 @@ impl Mission {
             fe_dropped: st.fe_dropped,
             deadline_misses: report.deadline_misses(),
             pr_completed: st.pr_completed,
+            background_completed,
             vo_failures: st.vo.as_ref().map_or(0, |v| v.tracking_failures),
             loop_closures,
             ate_before_optimization: ate_before,
@@ -653,6 +757,43 @@ mod tests {
         assert_eq!(a.agents[0].frames, b.agents[0].frames);
         assert_eq!(a.agents[0].pr_completed, b.agents[0].pr_completed);
         assert_eq!(a.agents[0].map.trajectory.len(), b.agents[0].map.trajectory.len());
+        assert_eq!(
+            a.agents[0].map.trajectory.last().map(|s| s.estimate),
+            b.agents[0].map.trajectory.last().map(|s| s.estimate),
+        );
+    }
+
+    #[test]
+    fn background_swarm_shares_the_accelerator_without_hurting_fe() {
+        let mut cfg = MissionConfig::small_test();
+        cfg.duration_s = 1.0;
+        cfg.background_tasks = 6;
+        let outcome = Mission::new(cfg).unwrap().run().unwrap();
+        for (i, a) in outcome.agents.iter().enumerate() {
+            assert!(a.fe_completed > 0, "agent {i}: FE starved by the swarm");
+            assert!(a.pr_completed > 0, "agent {i}: PR starved by the swarm");
+            assert!(a.background_completed > 0, "agent {i}: swarm never ran");
+            assert_eq!(
+                a.deadline_misses, 0,
+                "agent {i}: FE missed frame deadlines under the swarm"
+            );
+            assert!(!a.interrupts.is_empty(), "agent {i}: priority work should preempt the swarm");
+        }
+    }
+
+    #[test]
+    fn swarm_mode_is_deterministic() {
+        let cfg = {
+            let mut c = MissionConfig::small_test();
+            c.duration_s = 1.0;
+            c.background_tasks = 4;
+            c
+        };
+        let a = Mission::new(cfg.clone()).unwrap().run().unwrap();
+        let b = Mission::new(cfg).unwrap().run().unwrap();
+        assert_eq!(a.agents[0].fe_completed, b.agents[0].fe_completed);
+        assert_eq!(a.agents[0].pr_completed, b.agents[0].pr_completed);
+        assert_eq!(a.agents[0].background_completed, b.agents[0].background_completed);
         assert_eq!(
             a.agents[0].map.trajectory.last().map(|s| s.estimate),
             b.agents[0].map.trajectory.last().map(|s| s.estimate),

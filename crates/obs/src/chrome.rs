@@ -207,6 +207,31 @@ impl ChromeTrace {
                     let args = Obj::new().u64("node", u64::from(*node)).finish();
                     self.instant(pid, RUNTIME_TID, &format!("timer {timer}"), *cycle, Some(args));
                 }
+                TraceEvent::SchedAdmitted { cycle, task, job, queue_depth } => {
+                    let args = Obj::new()
+                        .u64("job", *job)
+                        .u64("queue_depth", u64::from(*queue_depth))
+                        .finish();
+                    self.instant(pid, RUNTIME_TID, &format!("admit t{task}"), *cycle, Some(args));
+                }
+                TraceEvent::SchedRejected { cycle, task, reason } => {
+                    let args = Obj::new().str("reason", reason).finish();
+                    self.instant(pid, RUNTIME_TID, &format!("reject t{task}"), *cycle, Some(args));
+                }
+                TraceEvent::SchedBound { cycle, task, job, slot, preempting, reload_cycles } => {
+                    let args = Obj::new()
+                        .u64("job", *job)
+                        .str("preempting", if *preempting { "true" } else { "false" })
+                        .u64("reload_cycles", *reload_cycles)
+                        .finish();
+                    self.instant(
+                        pid,
+                        slot.index() as u32,
+                        &format!("bind t{task}"),
+                        *cycle,
+                        Some(args),
+                    );
+                }
                 TraceEvent::Milestone { cycle, label, detail } => {
                     let args = Obj::new().str("detail", detail).finish();
                     self.instant(pid, APP_TID, label, *cycle, Some(args));

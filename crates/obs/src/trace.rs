@@ -146,6 +146,44 @@ pub enum TraceEvent {
         /// Timer id.
         timer: u32,
     },
+    /// The admission scheduler accepted a job into a logical task's queue.
+    SchedAdmitted {
+        /// Cycle of the submission.
+        cycle: u64,
+        /// Logical task index.
+        task: u32,
+        /// Scheduler job id.
+        job: u64,
+        /// Queue depth after admission (0 when the job bound immediately).
+        queue_depth: u32,
+    },
+    /// The admission scheduler rejected a submission or dropped a queued
+    /// job under backpressure.
+    SchedRejected {
+        /// Cycle of the rejection/drop.
+        cycle: u64,
+        /// Logical task index.
+        task: u32,
+        /// Why: `"queue-full"`, `"admission"`, `"drop-oldest"` or
+        /// `"degrade-skip"`.
+        reason: &'static str,
+    },
+    /// The scheduler bound a logical task's queued job to a physical slot.
+    SchedBound {
+        /// Cycle of the binding.
+        cycle: u64,
+        /// Logical task index.
+        task: u32,
+        /// Scheduler job id.
+        job: u64,
+        /// The physical slot the job was bound to.
+        slot: TaskSlot,
+        /// Whether the binding was placed to preempt a running lower-rank
+        /// job (fires the IAU's interrupt machinery).
+        preempting: bool,
+        /// Program-reload DMA cycles charged before the job's release.
+        reload_cycles: u64,
+    },
     /// An application-level milestone (e.g. DSLAM PR match, map merge).
     Milestone {
         /// Cycle.
@@ -173,6 +211,9 @@ impl TraceEvent {
             | TraceEvent::DeadlineMissed { cycle, .. }
             | TraceEvent::MessagePublished { cycle, .. }
             | TraceEvent::TimerFired { cycle, .. }
+            | TraceEvent::SchedAdmitted { cycle, .. }
+            | TraceEvent::SchedRejected { cycle, .. }
+            | TraceEvent::SchedBound { cycle, .. }
             | TraceEvent::Milestone { cycle, .. } => *cycle,
             TraceEvent::Preempted { request, .. } => *request,
             TraceEvent::Resumed { restore_start, .. } => *restore_start,

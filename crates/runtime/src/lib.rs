@@ -15,6 +15,10 @@
 //!   ([`NodeContext::submit_accel_with_deadline`]) and the report counts
 //!   misses, reproducing the paper's "finishing before deadline"
 //!   requirement for FE;
+//! * [`sched`] — a slot-virtualizing admission scheduler multiplexing any
+//!   number of logical tasks (own program, period, deadline, priority)
+//!   onto the 4 physical IAU slots, with PREMA-style predicted-span
+//!   admission control and pluggable binding/preemption policies;
 //! * [`live`] — a small thread-based pub/sub bus (crossbeam channels +
 //!   `parking_lot`) demonstrating the same API contract with real OS
 //!   threads, as in a ROS deployment.
@@ -63,8 +67,13 @@
 
 pub mod live;
 mod runtime;
+pub mod sched;
 
 pub use runtime::{DeadlineRecord, JobHandle, Node, NodeContext, NodeId, Runtime, RuntimeReport};
+pub use sched::{
+    Admission, DropPolicy, RejectReason, SchedCompletion, SchedJob, SchedPolicy, ScheduledEngine,
+    Scheduler, TaskId, TaskSpec, TaskStats,
+};
 
 pub use inca_accel::{AccelConfig, InterruptStrategy};
 pub use inca_isa::TaskSlot;

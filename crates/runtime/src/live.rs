@@ -179,4 +179,62 @@ mod tests {
             TraceEvent::MessagePublished { cycle: 1, topic, subscribers: 1 } if topic == "t"
         ));
     }
+
+    #[test]
+    fn publish_to_topic_whose_only_receiver_dropped() {
+        // The edge case: the topic exists (a subscriber registered), but
+        // its only receiver is gone by publish time. The publish must not
+        // panic, must report zero subscribers reached, and the *next*
+        // subscriber_count query must reflect the disconnect (the channel
+        // stub has no is_disconnected, so pruning happens at publish).
+        let bus: LiveBus<u32> = LiveBus::new();
+        let rx = bus.subscribe("lonely");
+        assert_eq!(bus.subscriber_count("lonely"), 1);
+        drop(rx);
+        // Before any publish the stale sender is still registered.
+        assert_eq!(bus.subscriber_count("lonely"), 1);
+        assert_eq!(bus.publish("lonely", 7), 0, "no live receiver was reached");
+        assert_eq!(bus.subscriber_count("lonely"), 0, "publish pruned the dead sender");
+        assert_eq!(bus.metrics().counter("bus.subscribers.dropped"), 1);
+        assert_eq!(bus.metrics().counter("bus.messages.sent"), 0);
+        // Publishing again on the now-empty topic stays quiet and safe.
+        assert_eq!(bus.publish("lonely", 8), 0);
+        assert_eq!(bus.metrics().counter("bus.subscribers.dropped"), 1, "no double count");
+    }
+
+    #[test]
+    fn sequence_stamps_stay_monotonic_across_dropped_subscribers() {
+        let (tracer, buf) = Tracer::ring(16);
+        let mut bus: LiveBus<u32> = LiveBus::new();
+        bus.set_tracer(tracer);
+        let rx_a = bus.subscribe("t");
+        bus.publish("t", 0); // seq 0: one live subscriber
+        drop(rx_a);
+        bus.publish("t", 1); // seq 1: prunes the dead one
+        bus.publish("missing", 2); // seq 2: topic never subscribed
+        let _rx_b = bus.subscribe("t");
+        bus.publish("t", 3); // seq 3: fresh subscriber
+        let events = buf.snapshot();
+        let stamps: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::MessagePublished { cycle, .. } => *cycle,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            stamps,
+            vec![0, 1, 2, 3],
+            "every publish is stamped, gap-free, in order, dead receivers or not"
+        );
+        let reached: Vec<u32> = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::MessagePublished { subscribers, .. } => *subscribers,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(reached, vec![1, 0, 0, 1]);
+        assert_eq!(bus.metrics().counter("bus.publishes"), 4);
+    }
 }

@@ -1,11 +1,13 @@
 //! The deterministic discrete-event runtime (see crate docs).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 use inca_accel::{AccelConfig, Backend, Engine, InterruptStrategy, JobRecord, Report, SimError};
 use inca_isa::{TaskSlot, TASK_SLOTS};
 use inca_obs::{Metrics, TraceEvent, Tracer};
+
+use crate::sched::{Scheduler, TaskId, TaskSpec};
 
 /// Identifies a registered [`Node`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -70,6 +72,7 @@ enum Action<M> {
     Publish { topic: String, msg: M },
     Timer { at: u64, timer: u32 },
     Accel { slot: TaskSlot, deadline: Option<u64>, handle: JobHandle },
+    Sched { task: TaskId, handle: JobHandle },
 }
 
 /// Capabilities handed to a [`Node`] callback.
@@ -124,6 +127,19 @@ impl<M> NodeContext<'_, M> {
         self.actions.push((self.node, Action::Accel { slot, deadline, handle }));
         handle
     }
+
+    /// Submits one job of logical task `task` to the installed
+    /// [`Scheduler`] (see [`Runtime::install_scheduler`]). The scheduler
+    /// decides the physical slot, applies admission control and the task's
+    /// drop policy; [`Node::on_accel_done`] fires only if the job is
+    /// admitted and actually executes (rejected and degraded-to-skip jobs
+    /// complete silently — check the scheduler's [`crate::TaskStats`]).
+    pub fn submit_task(&mut self, task: TaskId) -> JobHandle {
+        let handle = JobHandle(*self.next_handle);
+        *self.next_handle += 1;
+        self.actions.push((self.node, Action::Sched { task, handle }));
+        handle
+    }
 }
 
 enum EventKind<M> {
@@ -175,6 +191,10 @@ pub struct Runtime<M, B: Backend> {
     deadlines: Vec<DeadlineRecord>,
     messages_delivered: u64,
     timers_fired: u64,
+    sched: Option<Scheduler>,
+    sched_jobs: BTreeMap<u64, (JobHandle, NodeId, Option<u64>)>,
+    sched_rejected: u64,
+    sched_skipped: u64,
     tracer: Tracer,
 }
 
@@ -196,15 +216,50 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
             deadlines: Vec::new(),
             messages_delivered: 0,
             timers_fired: 0,
+            sched: None,
+            sched_jobs: BTreeMap::new(),
+            sched_rejected: 0,
+            sched_skipped: 0,
             tracer: Tracer::disabled(),
         }
     }
 
-    /// Installs `tracer` on the runtime **and** its embedded engine, so
-    /// middleware and datapath events interleave in one stream.
+    /// Installs `tracer` on the runtime **and** its embedded engine (and
+    /// the scheduler, if one is installed), so middleware, scheduler and
+    /// datapath events interleave in one stream.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.engine.set_tracer(tracer.clone());
+        if let Some(s) = self.sched.as_mut() {
+            s.set_tracer(tracer.clone());
+        }
         self.tracer = tracer;
+    }
+
+    /// Installs a slot-virtualizing [`Scheduler`]: nodes then submit jobs
+    /// to logical tasks via [`NodeContext::submit_task`] instead of raw
+    /// slots, and the runtime pumps slot bindings at every completion. The
+    /// scheduler inherits the runtime's tracer.
+    pub fn install_scheduler(&mut self, mut sched: Scheduler) {
+        sched.set_tracer(self.tracer.clone());
+        self.sched = Some(sched);
+    }
+
+    /// The installed scheduler, if any.
+    #[must_use]
+    pub fn scheduler(&self) -> Option<&Scheduler> {
+        self.sched.as_ref()
+    }
+
+    /// Registers a logical task with the installed scheduler.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Engine`] when no scheduler is installed.
+    pub fn register_task(&mut self, spec: TaskSpec) -> Result<TaskId, SimError> {
+        self.sched
+            .as_mut()
+            .map(|s| s.register(spec))
+            .ok_or_else(|| SimError::Engine("register_task without a scheduler installed".into()))
     }
 
     /// A deterministic metrics snapshot: the engine's metrics plus
@@ -224,9 +279,15 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
             .iter()
             .flat_map(|q| q.iter())
             .filter(|(_, _, deadline)| deadline.is_some())
-            .count() as u64;
+            .count() as u64
+            + self.sched_jobs.values().filter(|(_, _, deadline)| deadline.is_some()).count() as u64;
         m.inc("runtime.deadlines.met", met);
         m.inc("runtime.deadlines.missed", late + outstanding);
+        if let Some(s) = self.sched.as_ref() {
+            m.absorb("", &s.metrics());
+            m.inc("runtime.sched.rejected", self.sched_rejected);
+            m.inc("runtime.sched.skipped", self.sched_skipped);
+        }
         for d in &self.deadlines {
             if let Some(finish) = d.finish {
                 if finish <= d.deadline {
@@ -285,8 +346,15 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
     fn drain_engine_completions(&mut self) {
         let report = self.engine.report();
         let new = &report.completed_jobs[self.consumed_completions..];
+        let mut sched = self.sched.take();
         for rec in new {
-            if let Some((handle, node, deadline)) = self.waiting[rec.slot.index()].pop_front() {
+            // Scheduler-bound jobs are routed by logical task; raw
+            // submissions fall through to the per-slot waiting queues.
+            let routed = match sched.as_mut().and_then(|s| s.note_completion(rec)) {
+                Some(c) => self.sched_jobs.remove(&c.job.raw()),
+                None => self.waiting[rec.slot.index()].pop_front(),
+            };
+            if let Some((handle, node, deadline)) = routed {
                 if let Some(d) = deadline {
                     self.deadlines.push(DeadlineRecord {
                         job: handle,
@@ -314,7 +382,16 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
                 );
             }
         }
+        self.sched = sched;
         self.consumed_completions = report.completed_jobs.len();
+    }
+
+    /// Lets the installed scheduler bind queued jobs to freed slots.
+    fn pump_sched(&mut self) -> Result<(), SimError> {
+        if let Some(s) = self.sched.as_mut() {
+            s.pump(self.now, &mut self.engine)?;
+        }
+        Ok(())
     }
 
     fn dispatch(&mut self, kind: EventKind<M>) -> Result<(), SimError> {
@@ -385,9 +462,21 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
                     self.engine.request_at(self.now, slot)?;
                     self.waiting[slot.index()].push_back((handle, origin, deadline));
                 }
+                Action::Sched { task, handle } => {
+                    let sched = self.sched.as_mut().ok_or_else(|| {
+                        SimError::Engine("submit_task without a scheduler installed".into())
+                    })?;
+                    match sched.submit(self.now, task) {
+                        Ok(adm) if adm.skipped => self.sched_skipped += 1,
+                        Ok(adm) => {
+                            self.sched_jobs.insert(adm.job.raw(), (handle, origin, adm.deadline));
+                        }
+                        Err(_) => self.sched_rejected += 1,
+                    }
+                }
             }
         }
-        Ok(())
+        self.pump_sched()
     }
 
     /// Runs the co-simulation until `deadline` cycles.
@@ -401,8 +490,7 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
             // Let the accelerator catch up to the next middleware event (or
             // the deadline), surfacing completions as events.
             let horizon = self.queue.peek().map_or(deadline, |Reverse((t, _))| (*t).min(deadline));
-            self.engine.run_until(horizon)?;
-            self.drain_engine_completions();
+            self.advance_engine(horizon)?;
 
             match self.queue.peek() {
                 Some(&Reverse(key)) if key.0 <= deadline => {
@@ -414,8 +502,7 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
                 _ => {
                     // No events left within the deadline; let the engine
                     // finish whatever is in flight up to the deadline.
-                    self.engine.run_until(deadline)?;
-                    self.drain_engine_completions();
+                    self.advance_engine(deadline)?;
                     if self.queue.peek().is_none_or(|Reverse((t, _))| *t > deadline) {
                         break;
                     }
@@ -423,6 +510,27 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
             }
         }
         self.now = self.now.max(deadline.min(self.engine.now()).max(self.now));
+        Ok(())
+    }
+
+    /// Advances the engine to `horizon`, surfacing completions as events.
+    /// With a scheduler installed the engine is stepped completion by
+    /// completion so freed slots re-bind at the exact completion cycle;
+    /// without one, the engine runs straight through (keeping the event
+    /// stream byte-identical to pre-scheduler builds).
+    fn advance_engine(&mut self, horizon: u64) -> Result<(), SimError> {
+        if self.sched.is_some() {
+            loop {
+                self.pump_sched()?;
+                let hit_completion = self.engine.run_until_complete(horizon)?;
+                self.drain_engine_completions();
+                if !hit_completion {
+                    return Ok(());
+                }
+            }
+        }
+        self.engine.run_until(horizon)?;
+        self.drain_engine_completions();
         Ok(())
     }
 
@@ -440,6 +548,16 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
                         finish: None,
                     });
                 }
+            }
+        }
+        for (handle, _, deadline) in self.sched_jobs.values() {
+            if let Some(d) = deadline {
+                deadlines.push(DeadlineRecord {
+                    job: *handle,
+                    slot: TaskSlot::new(0).expect("valid"),
+                    deadline: *d,
+                    finish: None,
+                });
             }
         }
         RuntimeReport {
@@ -663,6 +781,78 @@ mod tests {
         rt.run_until(1_000).unwrap();
         drop(rt);
         assert_eq!(*seen.borrow(), vec![3, 1, 4, 1, 5], "ties resolve by submission order");
+    }
+
+    #[test]
+    fn scheduler_multiplexes_logical_tasks_through_nodes() {
+        use crate::sched::{SchedPolicy, Scheduler, TaskSpec};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use std::sync::Arc;
+
+        struct Swarm {
+            tasks: Vec<crate::sched::TaskId>,
+            completed: Rc<RefCell<u32>>,
+        }
+        impl Node<Msg> for Swarm {
+            fn name(&self) -> &str {
+                "swarm"
+            }
+            fn on_timer(&mut self, ctx: &mut NodeContext<'_, Msg>, _t: u32) {
+                for &task in &self.tasks {
+                    let _ = ctx.submit_task(task);
+                }
+            }
+            fn on_accel_done(
+                &mut self,
+                _ctx: &mut NodeContext<'_, Msg>,
+                _j: JobHandle,
+                _r: &JobRecord,
+            ) {
+                *self.completed.borrow_mut() += 1;
+            }
+        }
+
+        let mut rt = runtime();
+        rt.install_scheduler(Scheduler::new(*rt.engine().config(), SchedPolicy::FixedPriority));
+        let compiler = Compiler::new(rt.engine().config().arch);
+        let program =
+            Arc::new(compiler.compile_vi(&zoo::tiny(Shape3::new(3, 16, 16)).unwrap()).unwrap());
+        // Six logical tasks over four physical slots (one reserved).
+        let tasks: Vec<_> = (0..6u8)
+            .map(|i| {
+                rt.register_task(
+                    TaskSpec::new(format!("t{i}"), Arc::clone(&program)).priority(1 + (i % 3)),
+                )
+                .unwrap()
+            })
+            .collect();
+        let completed = Rc::new(RefCell::new(0u32));
+        let node = rt.add_node(Swarm { tasks, completed: Rc::clone(&completed) });
+        rt.schedule_timer(node, 0, 0);
+        rt.run_until(500_000_000).unwrap();
+        let totals = rt.scheduler().unwrap().totals();
+        drop(rt);
+        assert_eq!(*completed.borrow(), 6, "every logical task's job completed");
+        assert_eq!(totals.completed, 6);
+        assert_eq!(totals.submitted, 6);
+    }
+
+    #[test]
+    fn submit_task_without_scheduler_errors() {
+        struct Lone;
+        impl Node<Msg> for Lone {
+            fn name(&self) -> &str {
+                "lone"
+            }
+            fn on_timer(&mut self, ctx: &mut NodeContext<'_, Msg>, _t: u32) {
+                let _ = ctx.submit_task(crate::sched::TaskId::default());
+            }
+        }
+        let mut rt = runtime();
+        let node = rt.add_node(Lone);
+        rt.schedule_timer(node, 0, 0);
+        assert!(rt.run_until(1_000).is_err());
     }
 
     #[test]

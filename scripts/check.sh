@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # Repo-wide hygiene gate: formatting, lints, full test suite.
 # Run from anywhere; everything executes at the workspace root.
+#
+# Property-based suites (vendored proptest, pinned per-test seeds) run at
+# a bounded case count so the whole gate stays under a couple of minutes;
+# override for a deeper sweep, e.g. nightly:
+#
+#   INCA_PROP_CASES=512 scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+: "${INCA_PROP_CASES:=48}"
+export INCA_PROP_CASES
 
 echo "== cargo fmt --check"
 cargo fmt --all --check
@@ -10,7 +19,7 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test (workspace)"
+echo "== cargo test (workspace, INCA_PROP_CASES=${INCA_PROP_CASES})"
 cargo test --workspace -q
 
 echo "check.sh: all green"
