@@ -12,9 +12,9 @@
 //! through the calibrated cost model, so benches can check theory against
 //! the simulator.
 
-use inca_isa::{Instr, LayerMeta, Opcode, Parallelism, Tile};
+use inca_isa::{Instr, LayerMeta, Opcode, Parallelism, Program, Tile};
 
-use crate::{instr_cycles, AccelConfig};
+use crate::{instr_cycles, AccelConfig, InterruptStrategy};
 
 /// Eq. 1 of the paper: worst-case VI latency as a fraction of
 /// layer-by-layer latency for a convolution layer.
@@ -53,6 +53,63 @@ pub fn t1_layer_worst(cfg: &AccelConfig, meta: &LayerMeta) -> u64 {
 pub fn t1_vi_worst(cfg: &AccelConfig, meta: &LayerMeta) -> u64 {
     let p = cfg.arch.parallelism;
     u64::from(meta.in_shape.c.div_ceil(u32::from(p.input))) * t_instr(cfg, meta)
+}
+
+/// The analytical execution-span model the scheduler's admission control
+/// runs on: the summed cost of every **original** (non-virtual)
+/// instruction. Virtual instructions are free unless an interrupt
+/// materialises them, so this is the uncontended makespan of the program
+/// body; measured `busy_cycles` of an uncontended job matches it exactly.
+#[must_use]
+pub fn predicted_span(cfg: &AccelConfig, program: &Program) -> u64 {
+    program.original_instrs().map(|(_, i)| instr_cycles(cfg, program.layer_of(i), i)).sum()
+}
+
+/// The backup cost `t2` charged for taking the interrupt point starting
+/// at `vir_start` under the VI method: the summed DMA cost of the point's
+/// materialised `VIR_SAVE`s.
+#[must_use]
+pub fn vi_t2_point(cfg: &AccelConfig, program: &Program, vir_start: u32) -> u64 {
+    let point = program
+        .interrupt_points
+        .iter()
+        .find(|p| p.vir_start == vir_start)
+        .expect("interrupt point");
+    program.instrs[point.vir_range()]
+        .iter()
+        .filter(|i| i.op == Opcode::VirSave)
+        .map(|i| instr_cycles(cfg, program.layer_of(i), i))
+        .sum()
+}
+
+/// Per-interrupt-point backup costs for the VI method, in program order.
+#[must_use]
+pub fn vi_t2_points(cfg: &AccelConfig, program: &Program) -> Vec<u64> {
+    program.interrupt_points.iter().map(|p| vi_t2_point(cfg, program, p.vir_start)).collect()
+}
+
+/// Worst-case backup cost `t2` the analytical model predicts for
+/// `program` under `strategy` (paper §IV-B):
+///
+/// * non-preemptive — never backs up (`0`);
+/// * layer-by-layer — drains to a layer boundary, nothing to back up
+///   (`0`);
+/// * CPU-like — dumps the whole on-chip state over DMA, position
+///   independent;
+/// * virtual-instruction — the most expensive interrupt point's
+///   `VIR_SAVE`s.
+///
+/// Every measured [`crate::InterruptEvent::t2`] is bounded by this value;
+/// for the CPU-like strategy it is exact.
+#[must_use]
+pub fn t2_worst(cfg: &AccelConfig, strategy: InterruptStrategy, program: &Program) -> u64 {
+    match strategy {
+        InterruptStrategy::NonPreemptive | InterruptStrategy::LayerByLayer => 0,
+        InterruptStrategy::CpuLike => cfg.dma_cycles(u64::from(cfg.arch.onchip_bytes())),
+        InterruptStrategy::VirtualInstruction => {
+            vi_t2_points(cfg, program).into_iter().max().unwrap_or(0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +154,56 @@ mod tests {
         assert!(
             (ratio - formula).abs() / formula < 0.2,
             "cycle ratio {ratio} vs formula {formula}"
+        );
+    }
+
+    #[test]
+    fn span_model_matches_uncontended_run() {
+        use crate::{Engine, TimingBackend};
+        use inca_compiler::Compiler;
+        use inca_isa::TaskSlot;
+
+        let cfg = AccelConfig::paper_small();
+        let net = inca_model::zoo::tiny(Shape3::new(3, 32, 32)).expect("net");
+        for program in [
+            Compiler::new(cfg.arch).compile(&net).expect("compile"),
+            Compiler::new(cfg.arch).compile_vi(&net).expect("compile vi"),
+        ] {
+            let program = std::sync::Arc::new(program);
+            let span = predicted_span(&cfg, &program);
+            let slot = TaskSlot::LOWEST;
+            let mut engine =
+                Engine::new(cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new());
+            engine.load(slot, std::sync::Arc::clone(&program)).expect("load");
+            engine.request_at(0, slot).expect("request");
+            let report = engine.run().expect("run");
+            assert_eq!(report.completed_jobs[0].busy_cycles, span, "{}", program.name);
+        }
+    }
+
+    #[test]
+    fn t2_model_per_strategy() {
+        use inca_compiler::Compiler;
+
+        let cfg = AccelConfig::paper_small();
+        let net = inca_model::zoo::tiny(Shape3::new(3, 32, 32)).expect("net");
+        let vi = Compiler::new(cfg.arch).compile_vi(&net).expect("compile vi");
+        assert_eq!(t2_worst(&cfg, InterruptStrategy::NonPreemptive, &vi), 0);
+        assert_eq!(t2_worst(&cfg, InterruptStrategy::LayerByLayer, &vi), 0);
+        assert_eq!(
+            t2_worst(&cfg, InterruptStrategy::CpuLike, &vi),
+            cfg.dma_cycles(u64::from(cfg.arch.onchip_bytes()))
+        );
+        let points = vi_t2_points(&cfg, &vi);
+        assert!(!points.is_empty(), "VI program has interrupt points");
+        assert_eq!(
+            t2_worst(&cfg, InterruptStrategy::VirtualInstruction, &vi),
+            points.iter().copied().max().unwrap()
+        );
+        // Backing up a point is cheaper than dumping all on-chip state.
+        assert!(
+            t2_worst(&cfg, InterruptStrategy::VirtualInstruction, &vi)
+                <= t2_worst(&cfg, InterruptStrategy::CpuLike, &vi)
         );
     }
 

@@ -423,9 +423,16 @@ impl<B: Backend> Engine<B> {
 
     /// Installs the tracer the engine emits [`TraceEvent`]s through. The
     /// default is [`Tracer::disabled`], which costs one discriminant check
-    /// per emission site.
+    /// per emission site. An enabled tracer immediately receives one
+    /// [`TraceEvent::EngineMeta`] naming the interrupt strategy and clock,
+    /// so recorded traces are self-describing for the analysis layer.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+        self.tracer.emit(|| TraceEvent::EngineMeta {
+            cycle: self.now,
+            strategy: self.strategy.to_string(),
+            clock_hz: self.cfg.clock_hz,
+        });
     }
 
     /// The installed tracer.

@@ -1,0 +1,283 @@
+//! `inca-analyze` — the trace-analysis CLI (DESIGN.md §5.4).
+//!
+//! Three modes:
+//!
+//! * **file** (default): `inca-analyze trace.json [--slo SPEC]... [--json]`
+//!   — imports an exported Chrome trace (e.g. the DSLAM mission trace
+//!   written by `--mission --trace FILE`), prints preemption/occupancy/
+//!   deadline accounting per process, and evaluates SLO specs
+//!   (`fe=50ms`, `pr=deadline:1s+latency:200us`, …; `fe`→slot 1,
+//!   `pr`→slot 3). Exits 1 when any SLO clause fails.
+//! * **mission**: `inca-analyze --mission [--seconds N] [--strategy S|all]
+//!   [--trace FILE] [--slo SPEC]... [--json]` — runs the DSLAM mission
+//!   in-process under each interrupt strategy, reports per-strategy
+//!   t1/t2/t4 distributions and checks the measured backup cost `t2`
+//!   against the analytical model (`inca_accel::analysis::t2_worst`):
+//!   exact strategies must match exactly, the VI bound must hold. Exits 2
+//!   on model drift.
+//! * **gate**: `inca-analyze --gate BASELINE FRESH` — compares two
+//!   `metrics-v1` snapshots under the default tolerance rules
+//!   (deterministic cycle metrics exact, wall-clock throughput ±45%).
+//!   Exits 1 on regression. `scripts/bench_gate.sh` wraps this.
+
+use inca_accel::{analysis, InterruptStrategy};
+use inca_dslam::mission::{Mission, MissionConfig};
+use inca_obs::analyze::{self, Analyzer, SloSpec, T2Model, TaskSel};
+use inca_obs::{Metrics, MetricsSnapshot};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  inca-analyze <trace.json> [--slo SPEC]... [--json]
+  inca-analyze --mission [--seconds N] [--strategy S|all] [--trace FILE] [--slo SPEC]... [--json]
+  inca-analyze --gate <baseline.json> <fresh.json>
+SLO spec: name=50ms or name=deadline:50ms+latency:200us+queue:1ms+jobs:N+miss:0.01+period:50ms
+          (names: fe, pr, slotN, taskN; units cy/us/ms/s)";
+
+/// `fe`/`pr` resolve to the mission's fixed slots.
+const ALIASES: [(&str, TaskSel); 2] = [("fe", TaskSel::Slot(1)), ("pr", TaskSel::Slot(3))];
+
+struct Args {
+    mission: bool,
+    gate: Option<(String, String)>,
+    trace_out: Option<String>,
+    file: Option<String>,
+    slo: Vec<String>,
+    json: bool,
+    seconds: f64,
+    strategy: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        mission: false,
+        gate: None,
+        trace_out: None,
+        file: None,
+        slo: Vec::new(),
+        json: false,
+        seconds: 3.0,
+        strategy: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--mission" => out.mission = true,
+            "--gate" => {
+                let a = value(&mut i, "--gate")?;
+                let b = value(&mut i, "--gate")?;
+                out.gate = Some((a, b));
+            }
+            "--slo" => out.slo.push(value(&mut i, "--slo")?),
+            "--json" => out.json = true,
+            "--seconds" => {
+                out.seconds = value(&mut i, "--seconds")?
+                    .parse()
+                    .map_err(|_| "--seconds needs a number".to_owned())?;
+            }
+            "--strategy" => out.strategy = Some(value(&mut i, "--strategy")?),
+            "--trace" => out.trace_out = Some(value(&mut i, "--trace")?),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            f if f.starts_with("--") => return Err(format!("unknown flag {f}\n{USAGE}")),
+            file => {
+                if out.file.replace(file.to_owned()).is_some() {
+                    return Err(format!("more than one trace file\n{USAGE}"));
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn parse_strategy(name: &str) -> Result<Vec<InterruptStrategy>, String> {
+    let all = [
+        InterruptStrategy::NonPreemptive,
+        InterruptStrategy::CpuLike,
+        InterruptStrategy::LayerByLayer,
+        InterruptStrategy::VirtualInstruction,
+    ];
+    if name == "all" {
+        return Ok(all.to_vec());
+    }
+    all.into_iter()
+        .find(|s| s.to_string() == name)
+        .map(|s| vec![s])
+        .ok_or_else(|| format!("unknown strategy {name:?} (non-preemptive, cpu-like, layer-by-layer, virtual-instruction, all)"))
+}
+
+fn parse_slos(specs: &[String], clock_hz: u64) -> Result<Vec<SloSpec>, String> {
+    let mut out = Vec::new();
+    for s in specs {
+        out.extend(SloSpec::parse_list(s, &ALIASES, clock_hz)?);
+    }
+    Ok(out)
+}
+
+/// Evaluates `specs` against one analyzed stream; prints verdicts and
+/// returns whether all passed.
+fn run_slos(specs: &[SloSpec], analyzer: &Analyzer, label: &str) -> bool {
+    let mut all_ok = true;
+    for spec in specs {
+        let report = spec.evaluate(&analyzer.attribution, &analyzer.preemption);
+        println!("SLO {label}/{}: {}", report.name, if report.passed { "PASS" } else { "FAIL" });
+        for c in &report.clauses {
+            println!("    [{}] {} — {}", if c.passed { "ok" } else { "FAIL" }, c.label, c.detail);
+        }
+        if report.slack.count() > 0 {
+            println!(
+                "    slack: p50 {}cy, p95 {}cy, min {}cy over {} jobs",
+                report.slack.p50(),
+                report.slack.p95(),
+                report.slack.min(),
+                report.slack.count()
+            );
+        }
+        all_ok &= report.passed;
+    }
+    all_ok
+}
+
+fn gate_mode(baseline: &str, fresh: &str) -> Result<ExitCode, String> {
+    let load = |path: &str| -> Result<MetricsSnapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        MetricsSnapshot::from_json(text.trim()).map_err(|e| format!("{path}: {e}"))
+    };
+    let base = load(baseline)?;
+    let new = load(fresh)?;
+    let report = analyze::compare(&base, &new, &analyze::default_rules());
+    print!("{}", report.render());
+    Ok(if report.passed { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn file_mode(args: &Args) -> Result<ExitCode, String> {
+    let path = args.file.as_deref().ok_or_else(|| USAGE.to_owned())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let procs = analyze::import(&text)?;
+    if procs.is_empty() {
+        return Err("trace has no processes".to_owned());
+    }
+    let mut combined = Metrics::new();
+    let mut slo_ok = true;
+    for p in &procs {
+        let mut a = Analyzer::new();
+        a.consume(&p.events);
+        if args.json {
+            combined.absorb(&format!("{}.", p.name), &a.metrics());
+            continue;
+        }
+        println!("== {} (pid {}, {} events) ==", p.name, p.pid, p.events.len());
+        print!("{}", a.render());
+        let specs = parse_slos(&args.slo, a.clock_hz_or_default())?;
+        // SLO specs only make sense on processes with slot activity.
+        if a.attribution.slots.iter().any(|s| s.finished > 0) {
+            slo_ok &= run_slos(&specs, &a, &p.name);
+        }
+        println!();
+    }
+    if args.json {
+        println!("{}", MetricsSnapshot::new("inca-analyze", combined).to_json());
+    }
+    Ok(if slo_ok { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn mission_mode(args: &Args) -> Result<ExitCode, String> {
+    let strategies = parse_strategy(args.strategy.as_deref().unwrap_or("all"))?;
+    let mut combined = Metrics::new();
+    let mut drift_ok = true;
+    let mut slo_ok = true;
+    for strategy in &strategies {
+        let cfg = MissionConfig {
+            duration_s: args.seconds,
+            strategy: *strategy,
+            ..MissionConfig::default()
+        };
+        let accel = cfg.accel;
+        let mission = Mission::new(cfg).map_err(|e| e.to_string())?;
+        let (_outcome, trace) = mission.run_traced(200_000).map_err(|e| e.to_string())?;
+
+        // The mission's victim is always PR (FE outranks it, and without
+        // background tasks nothing outranks FE), so the analytical t2
+        // model is evaluated on the PR program.
+        let model = T2Model {
+            strategy: strategy.to_string(),
+            worst_t2: analysis::t2_worst(&accel, *strategy, mission.pr_program()),
+            exact: !matches!(strategy, InterruptStrategy::VirtualInstruction),
+        };
+
+        // Agent 0's stream: one engine, precise per-slot pairing.
+        let mut a = Analyzer::new();
+        a.consume(&trace.agents[0].events);
+        let drift = a.preemption.t2_drift(&model);
+
+        if args.json {
+            combined.absorb(&format!("{strategy}."), &a.metrics());
+            combined.set_gauge(&format!("{strategy}.t2_drift_ratio"), drift.ratio);
+            combined.inc(&format!("{strategy}.t2_model_cycles"), drift.model_worst_t2);
+            combined.inc(&format!("{strategy}.t2_within_model"), u64::from(drift.within));
+        } else {
+            println!("== strategy {strategy} ({} s mission, agent0) ==", args.seconds);
+            print!("{}", a.render());
+            println!(
+                "t2 model: measured worst {} cy vs model {} cy ({}) — ratio {:.4} — {}",
+                drift.measured_worst_t2,
+                drift.model_worst_t2,
+                if model.exact { "exact" } else { "upper bound" },
+                drift.ratio,
+                if drift.within { "WITHIN MODEL" } else { "MODEL VIOLATED" },
+            );
+            let specs = parse_slos(&args.slo, accel.clock_hz)?;
+            slo_ok &= run_slos(&specs, &a, &strategy.to_string());
+            println!();
+        }
+        drift_ok &= drift.within;
+
+        if let Some(out) = &args.trace_out {
+            if strategies.len() == 1 || *strategy == InterruptStrategy::VirtualInstruction {
+                std::fs::write(out, trace.chrome_json())
+                    .map_err(|e| format!("writing {out}: {e}"))?;
+                if !args.json {
+                    println!("wrote mission trace to {out}\n");
+                }
+            }
+        }
+    }
+    if args.json {
+        println!("{}", MetricsSnapshot::new("inca-analyze-mission", combined).to_json());
+    }
+    Ok(if !drift_ok {
+        ExitCode::from(2)
+    } else if !slo_ok {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = if let Some((base, fresh)) = &args.gate {
+        gate_mode(base, fresh)
+    } else if args.mission {
+        mission_mode(&args)
+    } else {
+        file_mode(&args)
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("inca-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -7,15 +7,22 @@
 //! degradation is the extra work the interrupt machinery adds to PR
 //! beyond PR's own compute: `Σ(t2 + t4) / PR busy cycles`. The makespan
 //! view (PR response minus FE service minus PR compute) is printed too.
+//!
+//! Pass `--json` for a machine-readable metrics-snapshot line
+//! (`inca-obs/metrics-v1`) with per-strategy counters and gauges.
 
 use inca_accel::{AccelConfig, Engine, InterruptStrategy, TimingBackend};
 use inca_bench::{makespan, Workload, CAMERA};
 use inca_isa::{Shape3, TaskSlot};
 use inca_model::zoo;
+use inca_obs::{Metrics, MetricsSnapshot};
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let cfg = AccelConfig::paper_big();
-    println!("E6: multi-task scheduling degradation (PR preempted by 20 fps FE)\n");
+    if !json {
+        println!("E6: multi-task scheduling degradation (PR preempted by 20 fps FE)\n");
+    }
     // FE on the 2x-downsampled image, as in the DSLAM mission (fits 50 ms).
     let fe_net = zoo::superpoint(Shape3::new(1, 240, 320)).expect("superpoint");
     let pr_net = zoo::gem_resnet101(CAMERA).expect("gem");
@@ -24,16 +31,19 @@ fn main() {
 
     let fe_solo = makespan(&cfg, &fe.vi);
     let pr_solo = makespan(&cfg, &pr.vi);
-    println!("FE (SuperPoint) solo: {:>8.2} ms", cfg.cycles_to_ms(fe_solo));
-    println!("PR (GeM/ResNet101) solo: {:>5.2} ms", cfg.cycles_to_ms(pr_solo));
-
     let period = cfg.us_to_cycles(50_000.0);
-    println!("FE duty cycle at 20 fps: {:.0}%\n", 100.0 * fe_solo as f64 / period as f64);
-
-    println!(
-        "{:<20} {:>10} {:>12} {:>12} {:>12} {:>12}",
-        "strategy", "preempts", "PR resp(ms)", "extra(us)", "degrade%", "makespan-ovh%"
-    );
+    if !json {
+        println!("FE (SuperPoint) solo: {:>8.2} ms", cfg.cycles_to_ms(fe_solo));
+        println!("PR (GeM/ResNet101) solo: {:>5.2} ms", cfg.cycles_to_ms(pr_solo));
+        println!("FE duty cycle at 20 fps: {:.0}%\n", 100.0 * fe_solo as f64 / period as f64);
+        println!(
+            "{:<20} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "strategy", "preempts", "PR resp(ms)", "extra(us)", "degrade%", "makespan-ovh%"
+        );
+    }
+    let mut m = Metrics::new();
+    m.inc("fe.solo_cycles", fe_solo);
+    m.inc("pr.solo_cycles", pr_solo);
     for strategy in [
         InterruptStrategy::CpuLike,
         InterruptStrategy::LayerByLayer,
@@ -57,15 +67,27 @@ fn main() {
         let makespan_ovh = 100.0
             * (pr_job.response() as f64 - fe_busy_in_window as f64 - pr_job.busy_cycles as f64)
             / pr_job.busy_cycles as f64;
-        println!(
-            "{:<20} {:>10} {:>12.2} {:>12.1} {:>12.3} {:>12.3}",
-            strategy.to_string(),
-            pr_job.preemptions,
-            cfg.cycles_to_ms(pr_job.response()),
-            cfg.cycles_to_us(pr_job.extra_cost_cycles),
-            degrade,
-            makespan_ovh,
-        );
+        m.inc(&format!("{strategy}.preempts"), u64::from(pr_job.preemptions));
+        m.inc(&format!("{strategy}.pr_response_cycles"), pr_job.response());
+        m.inc(&format!("{strategy}.pr_extra_cycles"), pr_job.extra_cost_cycles);
+        m.inc(&format!("{strategy}.pr_busy_cycles"), pr_job.busy_cycles);
+        m.set_gauge(&format!("{strategy}.degrade_pct"), degrade);
+        m.set_gauge(&format!("{strategy}.makespan_overhead_pct"), makespan_ovh);
+        if !json {
+            println!(
+                "{:<20} {:>10} {:>12.2} {:>12.1} {:>12.3} {:>12.3}",
+                strategy.to_string(),
+                pr_job.preemptions,
+                cfg.cycles_to_ms(pr_job.response()),
+                cfg.cycles_to_us(pr_job.extra_cost_cycles),
+                degrade,
+                makespan_ovh,
+            );
+        }
+    }
+    if json {
+        println!("{}", MetricsSnapshot::new("tab_degradation", m).to_json());
+        return;
     }
     println!("\npaper claim: degradation within 0.3% for the VI method.");
 }

@@ -232,6 +232,11 @@ impl ChromeTrace {
                         Some(args),
                     );
                 }
+                TraceEvent::EngineMeta { cycle, strategy, clock_hz } => {
+                    let args =
+                        Obj::new().str("strategy", strategy).u64("clock_hz", *clock_hz).finish();
+                    self.instant(pid, RUNTIME_TID, "engine meta", *cycle, Some(args));
+                }
                 TraceEvent::Milestone { cycle, label, detail } => {
                     let args = Obj::new().str("detail", detail).finish();
                     self.instant(pid, APP_TID, label, *cycle, Some(args));

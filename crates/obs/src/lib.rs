@@ -15,17 +15,23 @@
 //!   t1/t2/t4 as nested slices, deadline misses as instants.
 //! * [`ascii`] — the fixed-width timeline renderer behind
 //!   `Report::gantt`, hardened against out-of-range intervals.
+//! * [`analyze`] — the trace-analysis engine: streaming [`Analyzer`] over
+//!   recorded rings or re-imported trace JSON, preemption t1/t2/t4
+//!   accounting with model-drift checks, SLO evaluation, occupancy
+//!   attribution, and the perf-baseline regression gate.
 //!
 //! Because every timestamp is a virtual cycle, the same program and seed
 //! yield **byte-identical** trace files regardless of host machine or the
 //! functional backend's worker-thread count.
 
+pub mod analyze;
 pub mod ascii;
 pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use analyze::Analyzer;
 pub use ascii::{paint, render, TimelineRow};
 pub use chrome::{ChromeTrace, APP_TID, RUNTIME_TID};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot, CYCLE_BUCKETS, METRICS_SCHEMA};

@@ -102,6 +102,71 @@ impl Histogram {
         }
     }
 
+    /// The `q`-quantile (`0.0 ..= 1.0`), linearly interpolated inside the
+    /// power-of-4 bucket that holds the target rank.
+    ///
+    /// Buckets only record that a sample fell in `(lower, upper]`, so the
+    /// estimate assumes samples spread uniformly across the bucket; the
+    /// result is clamped to the exactly-tracked `[min, max]` range, which
+    /// also makes `quantile(0.0) == min()` and `quantile(1.0) == max()`.
+    /// Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Continuous rank in [1, count]; rank r is held by the bucket
+        // whose cumulative count first reaches r. The tracked extremes are
+        // exact, so the endpoint ranks short-circuit to them.
+        let rank = q * (self.count as f64 - 1.0) + 1.0;
+        if rank <= 1.0 {
+            return self.min;
+        }
+        if rank >= self.count as f64 {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let reached = cum as f64 + c as f64;
+            if rank <= reached {
+                let lower = if i == 0 { 0 } else { CYCLE_BUCKETS[i - 1] };
+                let upper = CYCLE_BUCKETS.get(i).copied().unwrap_or(self.max);
+                // The bucket's c samples sit at ranks cum+1 ..= cum+c; its
+                // first maps to the lower bound, its last to the upper. A
+                // fractional rank just above `cum` lands before the first
+                // sample — clamp so the estimate stays inside the bucket
+                // (and quantiles stay monotone in q).
+                let frac = ((rank - cum as f64 - 1.0) / (c as f64 - 1.0).max(1.0)).clamp(0.0, 1.0);
+                let est = lower as f64 + frac * (upper.max(lower) - lower) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// `(upper_bound, count)` for every non-empty bucket; the overflow
     /// bucket reports `u64::MAX` as its bound.
     #[must_use]
@@ -123,8 +188,37 @@ impl Histogram {
             .u64("min", self.min())
             .u64("max", self.max())
             .f64("mean", self.mean())
+            .u64("p50", self.p50())
+            .u64("p95", self.p95())
+            .u64("p99", self.p99())
             .raw("buckets", &json::array(&buckets))
             .finish()
+    }
+
+    /// Rebuilds a histogram from its serialised form (the percentile
+    /// fields are derived and ignored). Returns `None` on malformed input.
+    fn from_json(v: &json::Value) -> Option<Self> {
+        let mut h = Histogram {
+            counts: [0; CYCLE_BUCKETS.len() + 1],
+            count: v.get("count")?.as_u64()?,
+            sum: v.get("sum")?.as_u128()?,
+            min: v.get("min")?.as_u64()?,
+            max: v.get("max")?.as_u64()?,
+        };
+        if h.count == 0 {
+            h.min = u64::MAX;
+        }
+        for pair in v.get("buckets")?.as_arr()? {
+            let [le, c] = pair.as_arr()? else { return None };
+            let (le, c) = (le.as_u64()?, c.as_u64()?);
+            let idx = if le == u64::MAX {
+                CYCLE_BUCKETS.len()
+            } else {
+                CYCLE_BUCKETS.iter().position(|&b| b == le)?
+            };
+            h.counts[idx] = c;
+        }
+        (h.counts.iter().sum::<u64>() == h.count).then_some(h)
     }
 }
 
@@ -179,6 +273,21 @@ impl Metrics {
     /// Iterates counters in key order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Inserts (or replaces) a whole histogram under `name`.
+    pub fn insert_histogram(&mut self, name: &str, h: Histogram) {
+        self.histograms.insert(name.to_owned(), h);
     }
 
     /// Absorbs `other`, prefixing every key with `prefix` (counters add,
@@ -251,6 +360,44 @@ impl MetricsSnapshot {
             .raw("histograms", &histograms)
             .finish()
     }
+
+    /// Parses a snapshot back from its [`MetricsSnapshot::to_json`] form.
+    /// Counters round-trip exactly; histograms rebuild their bucket
+    /// arrays (the serialised percentile fields are derived and dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not valid JSON, the `schema`
+    /// field is missing or not [`METRICS_SCHEMA`], or a section is
+    /// malformed.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::Value::parse(text).map_err(|e| e.to_string())?;
+        let schema = doc.get("schema").and_then(json::Value::as_str).unwrap_or("");
+        if schema != METRICS_SCHEMA {
+            return Err(format!(
+                "unsupported metrics schema {schema:?} (expected {METRICS_SCHEMA:?})"
+            ));
+        }
+        let name = doc
+            .get("name")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| "missing snapshot name".to_owned())?
+            .to_owned();
+        let mut metrics = Metrics::new();
+        for (k, v) in doc.get("counters").and_then(json::Value::as_obj).unwrap_or(&[]) {
+            let v = v.as_u64().ok_or_else(|| format!("counter {k} is not a u64"))?;
+            metrics.inc(k, v);
+        }
+        for (k, v) in doc.get("gauges").and_then(json::Value::as_obj).unwrap_or(&[]) {
+            let v = v.as_f64().ok_or_else(|| format!("gauge {k} is not a number"))?;
+            metrics.set_gauge(k, v);
+        }
+        for (k, v) in doc.get("histograms").and_then(json::Value::as_obj).unwrap_or(&[]) {
+            let h = Histogram::from_json(v).ok_or_else(|| format!("histogram {k} malformed"))?;
+            metrics.insert_histogram(k, h);
+        }
+        Ok(Self { name, metrics })
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +458,100 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantile_endpoints_are_exact_min_max() {
+        let mut h = Histogram::default();
+        for v in [7, 100, 5_000, 123_456] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 7);
+        assert_eq!(h.quantile(1.0), 123_456);
+        assert!(h.p50() >= 7 && h.p50() <= 123_456);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        // 100 samples uniform over (256, 1024] — all in one bucket, so the
+        // interpolated p50 should land near the bucket midpoint.
+        let mut h = Histogram::default();
+        for i in 0..100u64 {
+            h.observe(257 + i * (1024 - 257) / 99);
+        }
+        let p50 = h.p50();
+        assert!((500..=800).contains(&p50), "p50 = {p50}");
+        // p99 near the top of the bucket, and ordered.
+        assert!(h.p95() <= h.p99());
+        assert!(h.p50() <= h.p95());
+        assert!(h.p99() <= h.max());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_when_rank_enters_a_sparse_bucket() {
+        // 38 small samples and one large one: the p99 rank (38.62) lands
+        // just above the small bucket's cumulative count, before the large
+        // bucket's single sample at rank 39. The estimate must stay inside
+        // the large bucket, not interpolate below its lower bound.
+        let mut h = Histogram::default();
+        for _ in 0..38 {
+            h.observe(150);
+        }
+        h.observe(2700);
+        assert!(h.p50() <= h.p95(), "p50 {} p95 {}", h.p50(), h.p95());
+        assert!(h.p95() <= h.p99(), "p95 {} p99 {}", h.p95(), h.p99());
+        assert!(h.p99() >= 1024, "p99 {} must sit in the large bucket", h.p99());
+        assert!(h.p99() <= h.max());
+    }
+
+    #[test]
+    fn quantiles_respect_bucket_boundaries_across_buckets() {
+        // 90 small samples and 10 huge ones: p50 stays in the small
+        // bucket, p95+ lands in the huge one.
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(3);
+        }
+        for _ in 0..10 {
+            h.observe(1 << 20);
+        }
+        assert!(h.p50() <= 4, "p50 = {}", h.p50());
+        assert!(h.p95() > 256, "p95 = {}", h.p95());
+        assert_eq!(h.quantile(1.0), 1 << 20);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse() {
+        let mut h = Histogram::default();
+        h.observe(42);
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 42);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut m = Metrics::new();
+        m.inc("engine.jobs", u64::MAX - 7); // above 2^53: f64 would corrupt it
+        m.inc("sched.admitted", 3);
+        m.set_gauge("util", 0.375);
+        m.set_gauge("weird \"name\"", -1.5e-3);
+        for v in [1, 5, 300, 70_000, u64::MAX] {
+            m.observe("lat", v);
+        }
+        let snap = MetricsSnapshot::new("round trip", m);
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).expect("parse");
+        assert_eq!(parsed.name, snap.name);
+        assert_eq!(parsed.metrics, snap.metrics);
+        // And the re-serialised form is byte-identical.
+        assert_eq!(parsed.to_json(), snap.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_other_schemas() {
+        assert!(MetricsSnapshot::from_json("{\"schema\":\"nope\",\"name\":\"x\"}").is_err());
+        assert!(MetricsSnapshot::from_json("not json").is_err());
     }
 }

@@ -184,6 +184,19 @@ pub enum TraceEvent {
         /// Program-reload DMA cycles charged before the job's release.
         reload_cycles: u64,
     },
+    /// Engine configuration metadata, emitted once when a tracer is
+    /// attached: names the interrupt strategy and the virtual clock, so a
+    /// recorded (or exported and re-imported) trace is self-describing —
+    /// the analysis layer uses it to attribute stats per strategy and to
+    /// convert microsecond timestamps back to cycles.
+    EngineMeta {
+        /// Cycle the tracer was attached.
+        cycle: u64,
+        /// Interrupt strategy display name (e.g. `"virtual-instruction"`).
+        strategy: String,
+        /// Virtual clock rate (cycles per second).
+        clock_hz: u64,
+    },
     /// An application-level milestone (e.g. DSLAM PR match, map merge).
     Milestone {
         /// Cycle.
@@ -214,6 +227,7 @@ impl TraceEvent {
             | TraceEvent::SchedAdmitted { cycle, .. }
             | TraceEvent::SchedRejected { cycle, .. }
             | TraceEvent::SchedBound { cycle, .. }
+            | TraceEvent::EngineMeta { cycle, .. }
             | TraceEvent::Milestone { cycle, .. } => *cycle,
             TraceEvent::Preempted { request, .. } => *request,
             TraceEvent::Resumed { restore_start, .. } => *restore_start,

@@ -28,7 +28,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use inca_accel::{instr_cycles, AccelConfig, Backend, Engine, JobRecord, SimError};
+use inca_accel::{AccelConfig, Backend, Engine, JobRecord, SimError};
 use inca_isa::{Program, TaskSlot, RECORD_BYTES, TASK_SLOTS};
 use inca_obs::{Metrics, TraceEvent, Tracer};
 
@@ -355,16 +355,11 @@ impl Scheduler {
     }
 
     /// Registers a logical task; its predicted span is computed from the
-    /// analytical cost model (virtual instructions cost nothing in normal
-    /// flow and are excluded).
+    /// analytical cost model ([`inca_accel::analysis::predicted_span`]:
+    /// virtual instructions cost nothing in normal flow and are excluded)
+    /// — the same model `inca-analyze` checks measured runs against.
     pub fn register(&mut self, spec: TaskSpec) -> TaskId {
-        let span = spec
-            .program
-            .instrs
-            .iter()
-            .filter(|i| !i.op.is_virtual())
-            .map(|i| instr_cycles(&self.cfg, spec.program.layer_of(i), i))
-            .sum();
+        let span = inca_accel::analysis::predicted_span(&self.cfg, &spec.program);
         let id = TaskId(self.tasks.len());
         self.tasks.push(TaskState {
             spec,

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Perf-baseline regression gate (DESIGN.md §5.4).
+#
+# Runs the JSON-emitting bench bins and compares their `metrics-v1`
+# snapshots against the committed baselines at the repo root using
+# `inca-analyze --gate`. The simulator is deterministic, so cycle-domain
+# counters/gauges/histograms must reproduce EXACTLY; wall-clock
+# throughput gauges (`*macs_per_s`, `*speedup*`) get generous relative
+# tolerances and `threads` is ignored (see
+# `inca_obs::analyze::baseline::default_rules`).
+#
+#   scripts/bench_gate.sh             # full gate: func + sched + dslam
+#   scripts/bench_gate.sh --quick     # deterministic bins only (sched + dslam):
+#                                     #   skips perf_smoke, whose wall-clock
+#                                     #   throughput needs a quiet machine
+#   scripts/bench_gate.sh --refresh   # regenerate the committed baselines
+#                                     #   (rerun after an intentional perf or
+#                                     #   metrics change, then commit)
+#   scripts/bench_gate.sh --selftest  # prove the gate trips on an injected
+#                                     #   2x slowdown and passes on identity
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# name | committed baseline | bench bin
+gates() {
+    case "$1" in
+        quick) printf '%s\n' \
+            "sched BENCH_sched.json fig_sched_load" \
+            "dslam BENCH_dslam.json fig_dslam_mission" ;;
+        *) printf '%s\n' \
+            "func BENCH_func.json perf_smoke" \
+            "sched BENCH_sched.json fig_sched_load" \
+            "dslam BENCH_dslam.json fig_dslam_mission" ;;
+    esac
+}
+
+echo "== bench gate: building release bins"
+cargo build --release -p inca-bench --bins -q
+
+run_bin() { # bin -> writes $tmp/<bin>.json
+    echo "== bench gate: running $1 --json"
+    "./target/release/$1" --json > "$tmp/$1.json"
+}
+
+case "$mode" in
+    --refresh)
+        while read -r _name baseline bin; do
+            run_bin "$bin"
+            cp "$tmp/$bin.json" "$baseline"
+            echo "refreshed $baseline"
+        done < <(gates full)
+        echo "bench gate: baselines refreshed — review the diff and commit"
+        ;;
+    --selftest)
+        # The fixture: a fresh perf_smoke snapshot, and a copy with every
+        # throughput gauge halved — a deliberate 2x slowdown. The gate
+        # must pass the identity comparison and fail the slowdown.
+        run_bin perf_smoke
+        python3 - "$tmp/perf_smoke.json" "$tmp/slow.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+for key in snap["gauges"]:
+    if key.endswith("macs_per_s"):
+        snap["gauges"][key] /= 2.0
+json.dump(snap, open(sys.argv[2], "w"), separators=(",", ":"))
+EOF
+        ./target/release/inca-analyze --gate "$tmp/perf_smoke.json" "$tmp/perf_smoke.json"
+        if ./target/release/inca-analyze --gate "$tmp/perf_smoke.json" "$tmp/slow.json"; then
+            echo "bench gate selftest: FAILED — 2x slowdown was not flagged" >&2
+            exit 1
+        fi
+        echo "bench gate selftest: ok (identity passes, 2x slowdown trips)"
+        ;;
+    full|--quick)
+        [ "$mode" = "--quick" ] && sel=quick || sel=full
+        fail=0
+        while read -r name baseline bin; do
+            if [ ! -f "$baseline" ]; then
+                echo "bench gate: missing baseline $baseline (run scripts/bench_gate.sh --refresh)" >&2
+                exit 1
+            fi
+            run_bin "$bin"
+            ./target/release/inca-analyze --gate "$baseline" "$tmp/$bin.json" || fail=1
+        done < <(gates "$sel")
+        if [ "$fail" -ne 0 ]; then
+            echo "bench gate: REGRESSION — see findings above." >&2
+            echo "  If the change is intentional: scripts/bench_gate.sh --refresh && git add BENCH_*.json" >&2
+            exit 1
+        fi
+        echo "bench gate: all baselines hold"
+        ;;
+    *)
+        echo "usage: scripts/bench_gate.sh [--quick|--refresh|--selftest]" >&2
+        exit 2
+        ;;
+esac

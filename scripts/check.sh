@@ -7,6 +7,10 @@
 # override for a deeper sweep, e.g. nightly:
 #
 #   INCA_PROP_CASES=512 scripts/check.sh
+#
+# Set INCA_BENCH_GATE=1 to also run the perf-baseline regression gate
+# (scripts/bench_gate.sh --quick: deterministic cycle-domain metrics vs
+# the committed BENCH_*.json baselines).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +25,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test (workspace, INCA_PROP_CASES=${INCA_PROP_CASES})"
 cargo test --workspace -q
+
+if [ "${INCA_BENCH_GATE:-0}" != 0 ]; then
+    echo "== bench gate (--quick)"
+    scripts/bench_gate.sh --quick
+fi
 
 echo "check.sh: all green"
