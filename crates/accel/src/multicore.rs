@@ -51,10 +51,46 @@ impl<B: Backend> CorePool<B> {
         Self { cfg, cores }
     }
 
+    /// Builds a pool from pre-configured engines — the escape hatch for
+    /// heterogeneous pools (mixed strategies or configs per core). The
+    /// pool-wide config (used by [`CorePool::resource_cost`]) is taken
+    /// from the first engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `engines` is empty.
+    #[must_use]
+    pub fn from_engines(engines: Vec<Engine<B>>) -> Self {
+        assert!(!engines.is_empty(), "a pool needs at least one core");
+        let cfg = *engines[0].config();
+        Self { cfg, cores: engines }
+    }
+
     /// Number of cores.
     #[must_use]
     pub fn cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// All valid core ids, in order.
+    pub fn core_ids(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.cores.len()).map(CoreId)
+    }
+
+    /// The engine of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range core id.
+    #[must_use]
+    pub fn core(&self, core: CoreId) -> &Engine<B> {
+        &self.cores[core.0]
+    }
+
+    /// The engine of one core, or `None` for an out-of-range id.
+    #[must_use]
+    pub fn try_core(&self, core: CoreId) -> Option<&Engine<B>> {
+        self.cores.get(core.0)
     }
 
     /// The engine of one core.
@@ -65,6 +101,45 @@ impl<B: Backend> CorePool<B> {
     #[must_use]
     pub fn core_mut(&mut self, core: CoreId) -> &mut Engine<B> {
         &mut self.cores[core.0]
+    }
+
+    /// The engine of one core, mutable, or `None` for an out-of-range id.
+    #[must_use]
+    pub fn try_core_mut(&mut self, core: CoreId) -> Option<&mut Engine<B>> {
+        self.cores.get_mut(core.0)
+    }
+
+    /// The pool-wide virtual clock: the furthest cycle any core reached.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.cores.iter().map(Engine::now).max().unwrap_or(0)
+    }
+
+    /// Cycles `core` spent executing instructions across its completed
+    /// jobs (interrupt backup/restore overhead is excluded — see
+    /// [`JobRecord`](crate::JobRecord)`::extra_cost_cycles`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range core id.
+    #[must_use]
+    pub fn busy_cycles(&self, core: CoreId) -> u64 {
+        self.cores[core.0].report().completed_jobs.iter().map(|j| j.busy_cycles).sum()
+    }
+
+    /// Fraction of `core`'s elapsed virtual time spent executing
+    /// instructions, in `[0, 1]`. Zero before the clock advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range core id.
+    #[must_use]
+    pub fn occupancy(&self, core: CoreId) -> f64 {
+        let now = self.cores[core.0].now();
+        if now == 0 {
+            return 0.0;
+        }
+        self.busy_cycles(core) as f64 / now as f64
     }
 
     /// Loads `program` into `slot` of `core`.

@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use inca_obs::{Metrics, TraceEvent, Tracer};
 use parking_lot::Mutex;
 
@@ -16,10 +16,13 @@ type Subscribers<M> = HashMap<String, Vec<Sender<(String, M)>>>;
 #[derive(Debug)]
 struct BusState<M> {
     subscribers: Subscribers<M>,
+    /// Per-subscriber channel capacity; `None` means unbounded.
+    capacity: Option<usize>,
     /// Monotonic publish sequence — the bus has no virtual clock, so this
     /// stands in as the (deterministic) trace timestamp.
     publish_seq: u64,
     messages_sent: u64,
+    messages_dropped: u64,
     dropped_subscribers: u64,
 }
 
@@ -27,8 +30,10 @@ impl<M> Default for BusState<M> {
     fn default() -> Self {
         Self {
             subscribers: HashMap::new(),
+            capacity: None,
             publish_seq: 0,
             messages_sent: 0,
+            messages_dropped: 0,
             dropped_subscribers: 0,
         }
     }
@@ -59,10 +64,28 @@ impl<M> Default for LiveBus<M> {
 }
 
 impl<M: Clone + Send + 'static> LiveBus<M> {
-    /// Creates an empty bus.
+    /// Creates an empty bus with unbounded subscriber channels.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty bus whose subscriber channels hold at most
+    /// `capacity` undelivered messages each. A publish to a full
+    /// subscriber **drops the message for that subscriber** (counted in
+    /// `bus.messages.dropped`) instead of buffering without bound — a
+    /// slow consumer can no longer OOM the process.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let bus = Self::default();
+        bus.state.lock().capacity = Some(capacity.max(1));
+        bus
+    }
+
+    /// The per-subscriber channel capacity (`None` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.state.lock().capacity
     }
 
     /// Installs a tracer; each publish is recorded as a
@@ -73,16 +96,23 @@ impl<M: Clone + Send + 'static> LiveBus<M> {
         self.tracer = tracer;
     }
 
-    /// Subscribes to `topic`, returning the receiving end of an unbounded
-    /// channel of `(topic, message)` pairs.
+    /// Subscribes to `topic`, returning the receiving end of a channel of
+    /// `(topic, message)` pairs — bounded to the bus capacity when one was
+    /// configured ([`LiveBus::with_capacity`]), unbounded otherwise.
     pub fn subscribe(&self, topic: impl Into<String>) -> Receiver<(String, M)> {
-        let (tx, rx) = unbounded();
-        self.state.lock().subscribers.entry(topic.into()).or_default().push(tx);
+        let mut st = self.state.lock();
+        let (tx, rx) = match st.capacity {
+            Some(cap) => bounded(cap),
+            None => unbounded(),
+        };
+        st.subscribers.entry(topic.into()).or_default().push(tx);
         rx
     }
 
     /// Publishes `msg` to all current subscribers of `topic`. Returns the
-    /// number of subscribers reached. Disconnected subscribers are pruned.
+    /// number of subscribers reached. Disconnected subscribers are
+    /// pruned; on a bounded bus, subscribers whose channel is full simply
+    /// miss this message (counted, not buffered).
     pub fn publish(&self, topic: &str, msg: M) -> usize {
         let mut st = self.state.lock();
         let seq = st.publish_seq;
@@ -96,9 +126,21 @@ impl<M: Clone + Send + 'static> LiveBus<M> {
             return 0;
         };
         let before = subs.len();
-        subs.retain(|tx| tx.send((topic.to_owned(), msg.clone())).is_ok());
-        let reached = subs.len();
-        st.dropped_subscribers += (before - reached) as u64;
+        let mut reached = 0usize;
+        let mut dropped = 0u64;
+        subs.retain(|tx| match tx.try_send((topic.to_owned(), msg.clone())) {
+            Ok(()) => {
+                reached += 1;
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                dropped += 1;
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+        st.dropped_subscribers += (before - subs.len()) as u64;
+        st.messages_dropped += dropped;
         st.messages_sent += reached as u64;
         self.tracer.emit(|| TraceEvent::MessagePublished {
             cycle: seq,
@@ -121,6 +163,7 @@ impl<M: Clone + Send + 'static> LiveBus<M> {
         let mut m = Metrics::new();
         m.inc("bus.publishes", st.publish_seq);
         m.inc("bus.messages.sent", st.messages_sent);
+        m.inc("bus.messages.dropped", st.messages_dropped);
         m.inc("bus.subscribers.dropped", st.dropped_subscribers);
         m.inc("bus.topics", st.subscribers.len() as u64);
         m
@@ -200,6 +243,44 @@ mod tests {
         // Publishing again on the now-empty topic stays quiet and safe.
         assert_eq!(bus.publish("lonely", 8), 0);
         assert_eq!(bus.metrics().counter("bus.subscribers.dropped"), 1, "no double count");
+    }
+
+    #[test]
+    fn bounded_bus_drops_instead_of_buffering() {
+        let bus: LiveBus<u32> = LiveBus::with_capacity(2);
+        assert_eq!(bus.capacity(), Some(2));
+        let rx_slow = bus.subscribe("t");
+        let rx_fast = bus.subscribe("t");
+        // Nobody drains rx_slow; after 2 buffered messages its channel is
+        // full and further publishes drop for it but still reach rx_fast.
+        let mut fast_seen = 0;
+        for v in 0..5u32 {
+            let reached = bus.publish("t", v);
+            fast_seen += usize::from(rx_fast.try_recv().is_ok());
+            assert!(reached >= 1, "the draining subscriber is always reached");
+        }
+        assert_eq!(fast_seen, 5);
+        let m = bus.metrics();
+        assert_eq!(m.counter("bus.messages.dropped"), 3, "5 publishes, 2 buffered slots");
+        assert_eq!(m.counter("bus.messages.sent"), 5 + 2);
+        // The slow subscriber still holds its first two messages and was
+        // never disconnected.
+        assert_eq!(rx_slow.try_iter().count(), 2);
+        assert_eq!(bus.subscriber_count("t"), 2);
+    }
+
+    #[test]
+    fn bounded_bus_full_subscriber_is_not_pruned() {
+        let bus: LiveBus<u32> = LiveBus::with_capacity(1);
+        let rx = bus.subscribe("t");
+        assert_eq!(bus.publish("t", 1), 1);
+        assert_eq!(bus.publish("t", 2), 0, "full channel: message dropped, not delivered");
+        assert_eq!(bus.metrics().counter("bus.messages.dropped"), 1);
+        assert_eq!(bus.metrics().counter("bus.subscribers.dropped"), 0);
+        // Draining reopens delivery.
+        assert_eq!(rx.try_recv().unwrap().1, 1);
+        assert_eq!(bus.publish("t", 3), 1);
+        assert_eq!(rx.try_recv().unwrap().1, 3);
     }
 
     #[test]

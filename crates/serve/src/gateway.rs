@@ -1,0 +1,636 @@
+//! The serving gateway: admission → batching → placement → per-core
+//! slot-virtualizing schedulers over a [`CorePool`].
+//!
+//! The gateway is fully deterministic: every timestamp is a virtual
+//! cycle, submissions happen at caller-controlled cycles, and the run
+//! loop interleaves batch flushes and core advancement in a fixed order.
+//! Running the same request schedule twice produces byte-identical
+//! responses, traces and metrics.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use inca_accel::{Backend, CoreId, CorePool, JobRecord, SimError};
+use inca_obs::{Metrics, TraceEvent, Tracer};
+use inca_runtime::{DropPolicy, SchedPolicy, Scheduler, TaskId, TaskSpec};
+
+use crate::place::{PlacePolicy, Placer};
+use crate::request::{Lane, RequestId, Response, ShedReason, TenantId, TenantSpec, TenantStats};
+
+/// Default batch window: how long the first request of a batch waits for
+/// company before the batch is flushed, in cycles.
+pub const DEFAULT_BATCH_WINDOW: u64 = 10_000;
+
+/// Default maximum batch size (a full batch flushes immediately).
+pub const DEFAULT_MAX_BATCH: usize = 4;
+
+/// Outcome of a successful [`Gateway::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accepted {
+    /// The admitted request.
+    pub request: RequestId,
+    /// `true` when the request was admitted under
+    /// [`DropPolicy::DegradeToSkip`] with a full queue: its response is
+    /// already available and the datapath will do no work for it.
+    pub skipped: bool,
+    /// Absolute completion deadline, when the tenant carries one.
+    pub deadline: Option<u64>,
+    /// The core it was placed on — known immediately for hard-lane
+    /// requests, `None` for batched best-effort requests (placed at
+    /// flush time) and for skips.
+    pub core: Option<CoreId>,
+}
+
+/// A request admitted into a batch buffer, waiting for its flush.
+#[derive(Debug, Clone, Copy)]
+struct PendingReq {
+    request: RequestId,
+    tenant: TenantId,
+    arrival: u64,
+    deadline: Option<u64>,
+}
+
+/// Same-network batch buffer (one per distinct program).
+#[derive(Debug, Default)]
+struct BatchBuf {
+    entries: Vec<PendingReq>,
+    /// Invalidates stale flush-heap entries after an early (size-capped)
+    /// flush.
+    generation: u64,
+}
+
+/// Metadata of a request in flight on a core's scheduler.
+#[derive(Debug, Clone, Copy)]
+struct InflightMeta {
+    request: RequestId,
+    tenant: TenantId,
+    arrival: u64,
+    deadline: Option<u64>,
+    batched: u32,
+}
+
+#[derive(Debug)]
+struct TenantEntry {
+    spec: TenantSpec,
+    /// Network-group index (tenants sharing a program share a group).
+    net: usize,
+    stats: TenantStats,
+}
+
+/// The multi-core inference serving gateway (see module docs).
+///
+/// Tenants are registered on **every** core's scheduler in the same
+/// order, so a tenant's [`TaskId`] index — and therefore its backend
+/// rebind context id — is identical pool-wide: one
+/// `install_ctx_image(tenant.ctx(), …)` per core covers all placements.
+#[derive(Debug)]
+pub struct Gateway<B: Backend> {
+    pool: CorePool<B>,
+    scheds: Vec<Scheduler>,
+    /// Per-core cursor into `report().completed_jobs`.
+    consumed: Vec<usize>,
+    /// Per-core map from raw scheduler job id to request metadata.
+    inflight: Vec<HashMap<u64, InflightMeta>>,
+    tenants: Vec<TenantEntry>,
+    /// `task_ids[tenant]` — identical on every core by construction.
+    task_ids: Vec<TaskId>,
+    /// One buffer per distinct network (program).
+    batches: Vec<BatchBuf>,
+    nets: Vec<Arc<inca_isa::Program>>,
+    /// Pending flushes: `(cycle, net, generation)`, earliest first.
+    flushes: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    placer: Placer,
+    batch_window: u64,
+    max_batch: usize,
+    now: u64,
+    next_request: u64,
+    responses: Vec<Response>,
+    batches_dispatched: u64,
+    batched_requests: u64,
+    lat: Metrics,
+    tracer: Tracer,
+}
+
+impl<B: Backend> Gateway<B> {
+    /// Creates a gateway over `pool`, one `sched_policy` scheduler per
+    /// core, placing with `place_policy`.
+    #[must_use]
+    pub fn new(pool: CorePool<B>, sched_policy: SchedPolicy, place_policy: PlacePolicy) -> Self {
+        let scheds = pool
+            .core_ids()
+            .map(|c| Scheduler::new(*pool.core(c).config(), sched_policy))
+            .collect::<Vec<_>>();
+        let n = scheds.len();
+        Self {
+            pool,
+            scheds,
+            consumed: vec![0; n],
+            inflight: (0..n).map(|_| HashMap::new()).collect(),
+            tenants: Vec::new(),
+            task_ids: Vec::new(),
+            batches: Vec::new(),
+            nets: Vec::new(),
+            flushes: BinaryHeap::new(),
+            placer: Placer::new(place_policy),
+            batch_window: DEFAULT_BATCH_WINDOW,
+            max_batch: DEFAULT_MAX_BATCH,
+            now: 0,
+            next_request: 0,
+            responses: Vec::new(),
+            batches_dispatched: 0,
+            batched_requests: 0,
+            lat: Metrics::new(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Sets the batch window in cycles (how long a lone best-effort
+    /// request waits for same-network company).
+    pub fn set_batch_window(&mut self, cycles: u64) {
+        self.batch_window = cycles;
+    }
+
+    /// Sets the maximum batch size (clamped to at least 1); a full batch
+    /// flushes immediately.
+    pub fn set_max_batch(&mut self, n: usize) {
+        self.max_batch = n.max(1);
+    }
+
+    /// Installs the tracer gateway events are emitted through; it is also
+    /// propagated to every core's scheduler, so admission/bind events and
+    /// gateway milestones land in one stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for s in &mut self.scheds {
+            s.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// The placement policy in use.
+    #[must_use]
+    pub fn place_policy(&self) -> PlacePolicy {
+        self.placer.policy()
+    }
+
+    /// The gateway clock: the latest cycle seen across submissions, runs
+    /// and core completions.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now.max(self.pool.now())
+    }
+
+    /// The core pool (e.g. to install backend context images before
+    /// serving starts).
+    #[must_use]
+    pub fn pool(&self) -> &CorePool<B> {
+        &self.pool
+    }
+
+    /// The core pool, mutable. Reserved for setup (context images,
+    /// tracers); mutating engine state mid-serve voids determinism.
+    #[must_use]
+    pub fn pool_mut(&mut self) -> &mut CorePool<B> {
+        &mut self.pool
+    }
+
+    /// One core's scheduler (inspection).
+    #[must_use]
+    pub fn scheduler(&self, core: CoreId) -> &Scheduler {
+        &self.scheds[core.0]
+    }
+
+    /// Registers a tenant on every core. The returned id's index is the
+    /// backend rebind context id pool-wide.
+    pub fn register(&mut self, spec: TenantSpec) -> TenantId {
+        let id = TenantId(self.tenants.len());
+        let mut task_id = None;
+        for sched in &mut self.scheds {
+            let mut task = TaskSpec::new(spec.name.clone(), Arc::clone(&spec.program))
+                .priority(spec.slot_priority())
+                // The gateway owns the shed policy; per-core queues only
+                // ever reject (and are sized so the gateway bound binds
+                // first).
+                .queue(spec.max_outstanding, DropPolicy::Reject);
+            if spec.lane == Lane::Hard {
+                if let Some(d) = spec.relative_deadline {
+                    task = task.deadline(d);
+                }
+            }
+            let tid = sched.register(task);
+            debug_assert_eq!(tid.index(), id.0, "tenant/task indices stay aligned per core");
+            task_id = Some(tid);
+        }
+        self.task_ids.push(task_id.expect("a pool has at least one core"));
+        let net = match self.nets.iter().position(|p| Arc::ptr_eq(p, &spec.program)) {
+            Some(i) => i,
+            None => {
+                self.nets.push(Arc::clone(&spec.program));
+                self.batches.push(BatchBuf::default());
+                self.nets.len() - 1
+            }
+        };
+        self.placer.add_tenant();
+        self.tenants.push(TenantEntry { spec, net, stats: TenantStats::default() });
+        id
+    }
+
+    /// Number of registered tenants.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// A tenant's registered spec.
+    #[must_use]
+    pub fn spec(&self, tenant: TenantId) -> &TenantSpec {
+        &self.tenants[tenant.0].spec
+    }
+
+    /// A tenant's lifetime counters.
+    #[must_use]
+    pub fn stats(&self, tenant: TenantId) -> TenantStats {
+        self.tenants[tenant.0].stats
+    }
+
+    /// Lifetime counters summed over all tenants.
+    #[must_use]
+    pub fn totals(&self) -> TenantStats {
+        let mut t = TenantStats::default();
+        for entry in &self.tenants {
+            t.add(&entry.stats);
+        }
+        t
+    }
+
+    /// Requests admitted but not yet completed, dropped or skipped,
+    /// pool-wide (includes batched-not-yet-dispatched ones).
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.tenants.iter().map(|t| t.stats.outstanding()).sum()
+    }
+
+    /// Requests sitting in batch buffers, not yet dispatched to a core.
+    #[must_use]
+    pub fn pending_batched(&self) -> usize {
+        self.batches.iter().map(|b| b.entries.len()).sum()
+    }
+
+    /// Submits one request of `tenant` at cycle `now` (the gateway clock
+    /// is monotonic — later submissions must not carry earlier cycles).
+    ///
+    /// Hard-lane requests bypass batching: they are placed immediately
+    /// and submitted to that core's scheduler, where the analytical-cost-
+    /// model admission controller can still reject an unmeetable
+    /// deadline. Best-effort requests join their network's batch buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`ShedReason::QueueFull`] when the tenant's outstanding bound is
+    /// hit under [`DropPolicy::Reject`] (or nothing was droppable under
+    /// [`DropPolicy::DropOldest`]); [`ShedReason::DeadlineUnmeetable`]
+    /// when admission predicts a deadline miss.
+    pub fn submit(&mut self, now: u64, tenant: TenantId) -> Result<Accepted, ShedReason> {
+        self.now = self.now.max(now);
+        let now = self.now;
+        self.tenants[tenant.0].stats.submitted += 1;
+
+        let entry = &self.tenants[tenant.0];
+        if entry.stats.outstanding() >= entry.spec.max_outstanding as u64 {
+            let policy = entry.spec.shed_policy;
+            let made_room = policy == DropPolicy::DropOldest && self.drop_oldest_pending(tenant);
+            if !made_room {
+                if policy == DropPolicy::DegradeToSkip {
+                    return Ok(self.admit_skip(now, tenant));
+                }
+                self.tenants[tenant.0].stats.shed += 1;
+                self.trace_milestone(now, format!("serve.shed {tenant} queue-full"));
+                return Err(ShedReason::QueueFull);
+            }
+        }
+
+        match self.tenants[tenant.0].spec.lane {
+            Lane::Hard => self.submit_hard(now, tenant),
+            Lane::BestEffort => Ok(self.submit_batched(now, tenant)),
+        }
+    }
+
+    /// Degraded admission: the caller observes a completed response, the
+    /// datapath does no work.
+    fn admit_skip(&mut self, now: u64, tenant: TenantId) -> Accepted {
+        let request = self.next_request_id();
+        let st = &mut self.tenants[tenant.0].stats;
+        st.admitted += 1;
+        st.skipped += 1;
+        let deadline = self.tenants[tenant.0].spec.relative_deadline.map(|d| now + d);
+        self.responses.push(Response {
+            request,
+            tenant,
+            lane: self.tenants[tenant.0].spec.lane,
+            core: None,
+            arrival: now,
+            start: now,
+            finish: now,
+            deadline,
+            batched: 1,
+            skipped: true,
+        });
+        self.trace_milestone(now, format!("serve.skip {tenant} {request}"));
+        Accepted { request, skipped: true, deadline, core: None }
+    }
+
+    /// Drops this tenant's oldest not-yet-dispatched batched request to
+    /// make room. Returns `false` when nothing was droppable (hard-lane
+    /// requests and already-dispatched work cannot be recalled).
+    fn drop_oldest_pending(&mut self, tenant: TenantId) -> bool {
+        let net = self.tenants[tenant.0].net;
+        let buf = &mut self.batches[net];
+        let Some(pos) = buf.entries.iter().position(|e| e.tenant == tenant) else {
+            return false;
+        };
+        let victim = buf.entries.remove(pos);
+        if buf.entries.is_empty() {
+            // Invalidate the pending flush for the now-empty buffer.
+            buf.generation += 1;
+        }
+        self.tenants[tenant.0].stats.dropped += 1;
+        self.trace_milestone(self.now, format!("serve.drop-oldest {tenant} {}", victim.request));
+        true
+    }
+
+    fn submit_hard(&mut self, now: u64, tenant: TenantId) -> Result<Accepted, ShedReason> {
+        let core = self.place(tenant);
+        let task = self.task_ids[tenant.0];
+        match self.scheds[core.0].submit(now, task) {
+            Ok(adm) => {
+                let request = self.next_request_id();
+                self.tenants[tenant.0].stats.admitted += 1;
+                self.inflight[core.0].insert(
+                    adm.job.raw(),
+                    InflightMeta {
+                        request,
+                        tenant,
+                        arrival: now,
+                        deadline: adm.deadline,
+                        batched: 1,
+                    },
+                );
+                self.trace_milestone(now, format!("serve.admit {tenant} {request} {core}"));
+                Ok(Accepted { request, skipped: false, deadline: adm.deadline, core: Some(core) })
+            }
+            Err(inca_runtime::RejectReason::AdmissionDenied) => {
+                self.tenants[tenant.0].stats.rejected += 1;
+                self.trace_milestone(now, format!("serve.reject {tenant} deadline"));
+                Err(ShedReason::DeadlineUnmeetable)
+            }
+            Err(inca_runtime::RejectReason::QueueFull) => {
+                self.tenants[tenant.0].stats.shed += 1;
+                self.trace_milestone(now, format!("serve.shed {tenant} core-queue"));
+                Err(ShedReason::QueueFull)
+            }
+        }
+    }
+
+    fn submit_batched(&mut self, now: u64, tenant: TenantId) -> Accepted {
+        let request = self.next_request_id();
+        let deadline = self.tenants[tenant.0].spec.relative_deadline.map(|d| now + d);
+        self.tenants[tenant.0].stats.admitted += 1;
+        let net = self.tenants[tenant.0].net;
+        self.batches[net].entries.push(PendingReq { request, tenant, arrival: now, deadline });
+        let depth = self.batches[net].entries.len();
+        self.trace_milestone(now, format!("serve.batch {tenant} {request} net{net}"));
+        if depth >= self.max_batch {
+            self.flush_net(now, net);
+        } else if depth == 1 {
+            let at = now + self.batch_window;
+            self.flushes.push(Reverse((at, net, self.batches[net].generation)));
+        }
+        Accepted { request, skipped: false, deadline, core: None }
+    }
+
+    fn next_request_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        id
+    }
+
+    /// Modelled outstanding work on a core, in cycles: every queued or
+    /// in-flight job charged its task's full predicted span.
+    fn backlog(&self, core: usize) -> u64 {
+        let s = &self.scheds[core];
+        self.task_ids
+            .iter()
+            .map(|&t| (s.queue_depth(t) as u64 + u64::from(s.in_flight(t))) * s.predicted_span(t))
+            .sum()
+    }
+
+    fn place(&mut self, tenant: TenantId) -> CoreId {
+        let backlogs: Vec<u64> = (0..self.scheds.len()).map(|c| self.backlog(c)).collect();
+        self.placer.place(tenant.0, backlogs.len(), |c| backlogs[c])
+    }
+
+    /// Dispatches one network's batch buffer to a single core.
+    fn flush_net(&mut self, now: u64, net: usize) {
+        let entries = std::mem::take(&mut self.batches[net].entries);
+        self.batches[net].generation += 1;
+        if entries.is_empty() {
+            return;
+        }
+        let core = self.place(entries[0].tenant);
+        let size = entries.len() as u32;
+        self.batches_dispatched += 1;
+        self.batched_requests += u64::from(size);
+        self.trace_milestone(now, format!("serve.flush net{net} x{size} {core}"));
+        for e in entries {
+            let task = self.task_ids[e.tenant.0];
+            match self.scheds[core.0].submit(now, task) {
+                Ok(adm) => {
+                    self.inflight[core.0].insert(
+                        adm.job.raw(),
+                        InflightMeta {
+                            request: e.request,
+                            tenant: e.tenant,
+                            arrival: e.arrival,
+                            deadline: e.deadline,
+                            batched: size,
+                        },
+                    );
+                }
+                Err(_) => {
+                    // The core refused at dispatch time (its queue filled
+                    // between admission and flush): the admitted request
+                    // is discarded, not silently lost.
+                    self.tenants[e.tenant.0].stats.dropped += 1;
+                    self.trace_milestone(now, format!("serve.drop {} dispatch", e.request));
+                }
+            }
+        }
+    }
+
+    /// The earliest still-valid pending flush cycle.
+    fn next_flush(&mut self) -> Option<u64> {
+        while let Some(&Reverse((cycle, net, generation))) = self.flushes.peek() {
+            if self.batches[net].generation == generation && !self.batches[net].entries.is_empty() {
+                return Some(cycle);
+            }
+            let _ = self.flushes.pop();
+        }
+        None
+    }
+
+    /// Advances the whole gateway to `deadline`: batch flushes fire in
+    /// cycle order (cores are advanced to each flush cycle first, so
+    /// placement sees the pool state *at* that cycle), then every core
+    /// runs out to `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine/backend errors.
+    pub fn run_until(&mut self, deadline: u64) -> Result<(), SimError> {
+        while let Some(cycle) = self.next_flush().filter(|&c| c <= deadline) {
+            // An overdue flush (a request joined the batch *after* the
+            // scheduled cycle, because the gateway had not run past it
+            // yet) fires at the gateway clock instead: a batch is never
+            // dispatched before one of its requests arrived.
+            let fire = cycle.max(self.now);
+            for core in 0..self.scheds.len() {
+                self.advance_core(core, fire.min(deadline))?;
+            }
+            let Reverse((_, net, _)) = self.flushes.pop().expect("peeked flush exists");
+            self.now = self.now.max(fire);
+            self.flush_net(fire, net);
+        }
+        self.now = self.now.max(deadline);
+        for core in 0..self.scheds.len() {
+            self.advance_core(core, deadline)?;
+        }
+        Ok(())
+    }
+
+    /// Runs until every admitted request completed (or nothing can make
+    /// progress), capped at `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine/backend errors.
+    pub fn run_to_idle(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        loop {
+            let before = (self.outstanding(), self.pool.now(), self.pending_batched());
+            match self.next_flush() {
+                Some(c) if c < max_cycles => self.run_until(c)?,
+                _ => self.run_until(max_cycles)?,
+            }
+            if self.outstanding() == 0 {
+                return Ok(());
+            }
+            if (self.outstanding(), self.pool.now(), self.pending_batched()) == before {
+                // Wedged: queued work no policy/slot/window can serve
+                // within the cap.
+                return Ok(());
+            }
+        }
+    }
+
+    /// One core's pump/run/complete loop up to `deadline`.
+    fn advance_core(&mut self, core: usize, deadline: u64) -> Result<(), SimError> {
+        loop {
+            let engine = self.pool.core_mut(CoreId(core));
+            let now = engine.now();
+            self.scheds[core].pump(now, engine)?;
+            let hit_completion = engine.run_until_complete(deadline)?;
+            let records: Vec<JobRecord> =
+                engine.report().completed_jobs[self.consumed[core]..].to_vec();
+            self.consumed[core] += records.len();
+            for rec in &records {
+                if let Some(c) = self.scheds[core].note_completion(rec) {
+                    self.finish(core, c.job.raw(), rec);
+                }
+            }
+            if !hit_completion {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Routes one scheduler completion back to its request.
+    fn finish(&mut self, core: usize, raw_job: u64, rec: &JobRecord) {
+        let meta = self.inflight[core]
+            .remove(&raw_job)
+            .expect("every scheduler-bound job was submitted by the gateway");
+        self.now = self.now.max(rec.finish);
+        let lane = self.tenants[meta.tenant.0].spec.lane;
+        let st = &mut self.tenants[meta.tenant.0].stats;
+        st.completed += 1;
+        if let Some(d) = meta.deadline {
+            if rec.finish <= d {
+                st.deadline_met += 1;
+            } else {
+                st.deadline_missed += 1;
+            }
+        }
+        let response = Response {
+            request: meta.request,
+            tenant: meta.tenant,
+            lane,
+            core: Some(CoreId(core)),
+            arrival: meta.arrival,
+            start: rec.start,
+            finish: rec.finish,
+            deadline: meta.deadline,
+            batched: meta.batched,
+            skipped: false,
+        };
+        let lane_key = match lane {
+            Lane::Hard => "hard",
+            Lane::BestEffort => "be",
+        };
+        self.lat.observe(&format!("serve.latency.{lane_key}"), response.latency());
+        self.lat.observe(&format!("serve.ttfb.{lane_key}"), response.ttfb());
+        self.trace_milestone(
+            rec.finish,
+            format!("serve.done {} {} {lane_key}", meta.tenant, meta.request),
+        );
+        self.responses.push(response);
+    }
+
+    /// Takes every response produced since the last drain, in completion
+    /// order (deterministic).
+    pub fn drain_responses(&mut self) -> Vec<Response> {
+        std::mem::take(&mut self.responses)
+    }
+
+    fn trace_milestone(&self, cycle: u64, detail: String) {
+        self.tracer.emit(|| TraceEvent::Milestone { cycle, label: "serve".to_owned(), detail });
+    }
+
+    /// A deterministic metrics snapshot: `serve.*` gateway counters and
+    /// latency histograms, plus each core's scheduler metrics under
+    /// `serve.coreN.`.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        let t = self.totals();
+        m.inc("serve.tenants", self.tenants.len() as u64);
+        m.inc("serve.cores", self.scheds.len() as u64);
+        m.inc("serve.requests.submitted", t.submitted);
+        m.inc("serve.requests.admitted", t.admitted);
+        m.inc("serve.requests.rejected", t.rejected);
+        m.inc("serve.requests.shed", t.shed);
+        m.inc("serve.requests.dropped", t.dropped);
+        m.inc("serve.requests.skipped", t.skipped);
+        m.inc("serve.requests.completed", t.completed);
+        m.inc("serve.deadlines.met", t.deadline_met);
+        m.inc("serve.deadlines.missed", t.deadline_missed);
+        m.inc("serve.batches.dispatched", self.batches_dispatched);
+        m.inc("serve.batches.requests", self.batched_requests);
+        m.set_gauge("serve.pending.batched", self.pending_batched() as f64);
+        for (i, entry) in self.tenants.iter().enumerate() {
+            m.set_gauge(&format!("serve.tenant{i}.outstanding"), entry.stats.outstanding() as f64);
+        }
+        m.absorb("", &self.lat);
+        for (i, s) in self.scheds.iter().enumerate() {
+            m.absorb(&format!("serve.core{i}."), &s.metrics());
+        }
+        m
+    }
+}

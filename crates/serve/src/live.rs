@@ -1,0 +1,255 @@
+//! The thread-based frontend: a driver thread owns the [`Gateway`],
+//! clients talk to it over a **bounded** command channel (backpressure
+//! instead of unbounded buffering), and completed responses fan out over
+//! a bounded [`LiveBus`] — the shape a ROS deployment would take.
+//!
+//! Liveness contracts:
+//!
+//! * client submissions retry with exponential backoff a bounded number
+//!   of times when the command channel is full, then give up with
+//!   [`LiveError::Busy`];
+//! * every reply is awaited with a timeout ([`LiveError::TimedOut`]);
+//! * the driver keeps advancing the virtual clock between commands, so
+//!   batch windows expire even when no new requests arrive.
+
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use inca_accel::Backend;
+use inca_obs::Metrics;
+use inca_runtime::live::LiveBus;
+
+use crate::gateway::{Accepted, Gateway};
+use crate::request::{Response, ShedReason, TenantId, TenantStats};
+
+/// Topic completed responses are published on.
+pub const RESPONSE_TOPIC: &str = "serve/responses";
+
+/// Tuning knobs for the live frontend.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Capacity of the bounded command channel clients submit into.
+    pub command_capacity: usize,
+    /// Submission retries when the command channel is full before the
+    /// client gives up with [`LiveError::Busy`].
+    pub retry_limit: u32,
+    /// Initial backoff between submission retries (doubles per retry).
+    pub retry_backoff: Duration,
+    /// How long a client waits for the driver's admission reply.
+    pub reply_timeout: Duration,
+    /// Per-subscriber capacity of the response bus.
+    pub bus_capacity: usize,
+    /// Virtual cycles the driver's clock advances per received command
+    /// and per idle poll (so batch windows expire without traffic).
+    pub cycles_per_tick: u64,
+    /// Wall-clock interval of the driver's idle poll.
+    pub poll_interval: Duration,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            command_capacity: 64,
+            retry_limit: 5,
+            retry_backoff: Duration::from_micros(50),
+            reply_timeout: Duration::from_secs(5),
+            bus_capacity: 256,
+            cycles_per_tick: 1_000,
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Why a live submission failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveError {
+    /// The gateway shed or rejected the request.
+    Shed(ShedReason),
+    /// The command channel stayed full through every retry.
+    Busy,
+    /// The driver did not reply within the timeout.
+    TimedOut,
+    /// The driver thread is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Shed(r) => write!(f, "shed: {r}"),
+            LiveError::Busy => f.write_str("command channel full (retries exhausted)"),
+            LiveError::TimedOut => f.write_str("timed out waiting for the driver"),
+            LiveError::Disconnected => f.write_str("driver thread is gone"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+/// Final accounting returned by [`LiveServer::shutdown`].
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// Lifetime counters summed over all tenants.
+    pub totals: TenantStats,
+    /// Responses published on the bus.
+    pub responses_published: u64,
+    /// The gateway's final metrics (`serve.*` plus per-core `sched.*`),
+    /// with the bus's `bus.*` metrics absorbed.
+    pub metrics: Metrics,
+}
+
+#[derive(Debug)]
+enum Cmd {
+    Submit { tenant: TenantId, reply: Sender<Result<Accepted, ShedReason>> },
+    Shutdown { reply: Sender<LiveReport> },
+}
+
+/// A running live frontend: the driver thread plus the client handle
+/// state. Dropping the server without [`LiveServer::shutdown`] detaches
+/// the driver (it exits once every client handle is gone).
+#[derive(Debug)]
+pub struct LiveServer {
+    tx: Sender<Cmd>,
+    bus: LiveBus<Response>,
+    cfg: LiveConfig,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl LiveServer {
+    /// Spawns the driver thread over `gateway`.
+    #[must_use]
+    pub fn spawn<B>(gateway: Gateway<B>, cfg: LiveConfig) -> Self
+    where
+        B: Backend + Send + 'static,
+    {
+        let (tx, rx) = bounded::<Cmd>(cfg.command_capacity.max(1));
+        let bus: LiveBus<Response> = LiveBus::with_capacity(cfg.bus_capacity.max(1));
+        let driver_bus = bus.clone();
+        let tick = cfg.cycles_per_tick.max(1);
+        let poll = cfg.poll_interval;
+        let handle = thread::spawn(move || drive(gateway, rx, driver_bus, tick, poll));
+        Self { tx, bus, cfg, handle: Some(handle) }
+    }
+
+    /// Subscribes to the bounded response bus. Slow subscribers miss
+    /// messages (counted on the bus) instead of buffering without bound.
+    #[must_use]
+    pub fn responses(&self) -> Receiver<(String, Response)> {
+        self.bus.subscribe(RESPONSE_TOPIC)
+    }
+
+    /// Submits one request of `tenant`, retrying with exponential backoff
+    /// while the command channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Shed`] when the gateway refused it, [`LiveError::Busy`]
+    /// when every retry found the channel full, [`LiveError::TimedOut`] /
+    /// [`LiveError::Disconnected`] on driver loss.
+    pub fn submit(&self, tenant: TenantId) -> Result<Accepted, LiveError> {
+        let (reply, rx) = bounded(1);
+        let mut cmd = Cmd::Submit { tenant, reply };
+        let mut backoff = self.cfg.retry_backoff;
+        for attempt in 0..=self.cfg.retry_limit {
+            match self.tx.try_send(cmd) {
+                Ok(()) => {
+                    return match rx.recv_timeout(self.cfg.reply_timeout) {
+                        Ok(Ok(accepted)) => Ok(accepted),
+                        Ok(Err(reason)) => Err(LiveError::Shed(reason)),
+                        Err(RecvTimeoutError::Timeout) => Err(LiveError::TimedOut),
+                        Err(RecvTimeoutError::Disconnected) => Err(LiveError::Disconnected),
+                    };
+                }
+                Err(TrySendError::Full(back)) => {
+                    cmd = back;
+                    if attempt < self.cfg.retry_limit {
+                        thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(LiveError::Disconnected),
+            }
+        }
+        Err(LiveError::Busy)
+    }
+
+    /// Drains the gateway to idle, stops the driver and returns the final
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::TimedOut`] / [`LiveError::Disconnected`] when the
+    /// driver cannot be reached.
+    pub fn shutdown(mut self) -> Result<LiveReport, LiveError> {
+        let (reply, rx) = bounded(1);
+        self.tx.send(Cmd::Shutdown { reply }).map_err(|_| LiveError::Disconnected)?;
+        let report = match rx.recv_timeout(self.cfg.reply_timeout.saturating_mul(4)) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => return Err(LiveError::TimedOut),
+            Err(RecvTimeoutError::Disconnected) => return Err(LiveError::Disconnected),
+        };
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        Ok(report)
+    }
+}
+
+/// The driver loop: apply commands, advance the virtual clock, publish
+/// completions.
+fn drive<B: Backend>(
+    mut gateway: Gateway<B>,
+    rx: Receiver<Cmd>,
+    bus: LiveBus<Response>,
+    tick: u64,
+    poll: Duration,
+) {
+    let mut clock = gateway.now();
+    let mut published = 0u64;
+    loop {
+        match rx.recv_timeout(poll) {
+            Ok(Cmd::Submit { tenant, reply }) => {
+                clock += tick;
+                let outcome = gateway.submit(clock, tenant);
+                let _ = reply.send(outcome);
+                // Serve whatever is ready without waiting for the poll.
+                clock = clock.max(gateway.now());
+                if gateway.run_until(clock).is_err() {
+                    break;
+                }
+                published += publish(&mut gateway, &bus);
+            }
+            Ok(Cmd::Shutdown { reply }) => {
+                let _ = gateway.run_to_idle(u64::MAX);
+                published += publish(&mut gateway, &bus);
+                let mut metrics = gateway.metrics();
+                metrics.absorb("", &bus.metrics());
+                let _ = reply.send(LiveReport {
+                    totals: gateway.totals(),
+                    responses_published: published,
+                    metrics,
+                });
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle tick: expire batch windows, finish in-flight work.
+                clock = clock.max(gateway.now()) + tick;
+                if gateway.run_until(clock).is_err() {
+                    break;
+                }
+                published += publish(&mut gateway, &bus);
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn publish<B: Backend>(gateway: &mut Gateway<B>, bus: &LiveBus<Response>) -> u64 {
+    let mut n = 0u64;
+    for r in gateway.drain_responses() {
+        bus.publish(RESPONSE_TOPIC, r);
+        n += 1;
+    }
+    n
+}

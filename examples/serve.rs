@@ -1,0 +1,140 @@
+//! Inference serving on a multi-core INCA pool: priority lanes,
+//! batching, backpressure.
+//!
+//! A [`inca::serve::Gateway`] fronts a 2-core accelerator pool. Three
+//! tenants share it: a camera and a lidar stream in the best-effort lane
+//! (coalesced into batches, stale frames dropped under backpressure) and
+//! an emergency-stop network in the hard lane (bypasses batching, binds
+//! the reserved slot 0 and preempts running work through the IAU's
+//! virtual-instruction machinery).
+//!
+//! Default mode is the in-process deterministic frontend on the virtual
+//! clock — same inputs, same cycle counts, every run. Pass `--live` to
+//! serve the same workload through the thread-based frontend instead
+//! (bounded command channel, responses fanning out over a bounded bus).
+//!
+//! ```sh
+//! cargo run --release --example serve            # deterministic
+//! cargo run --release --example serve -- --live  # thread-based
+//! ```
+
+use std::sync::Arc;
+
+use inca::accel::{AccelConfig, CorePool, InterruptStrategy, TimingBackend};
+use inca::compiler::Compiler;
+use inca::model::{zoo, Shape3};
+use inca::serve::{
+    DropPolicy, Gateway, LiveConfig, LiveServer, PlacePolicy, SchedPolicy, TenantId, TenantSpec,
+};
+
+fn build_gateway() -> Result<(Gateway<TimingBackend>, [TenantId; 3]), Box<dyn std::error::Error>> {
+    let cfg = AccelConfig::paper_big();
+    let compiler = Compiler::new(cfg.arch);
+    let cam_net = Arc::new(compiler.compile_vi(&zoo::tiny(Shape3::new(3, 48, 48))?)?);
+    let estop_net = Arc::new(compiler.compile_vi(&zoo::tiny(Shape3::new(3, 24, 24))?)?);
+
+    let pool = CorePool::new(2, cfg, InterruptStrategy::VirtualInstruction, TimingBackend::new);
+    let mut gw = Gateway::new(pool, SchedPolicy::FixedPriority, PlacePolicy::TenantAffinity);
+
+    // Camera frames: a stale frame is worthless — drop the oldest queued
+    // one instead of refusing the new one. Lidar degrades to a skip.
+    let camera = gw.register(
+        TenantSpec::new("camera", Arc::clone(&cam_net)).weight(2).queue(4, DropPolicy::DropOldest),
+    );
+    let lidar = gw
+        .register(TenantSpec::new("lidar", cam_net).weight(3).queue(2, DropPolicy::DegradeToSkip));
+    // The emergency stop: hard lane, generous absolute deadline; its
+    // arrival preempts best-effort work instead of queueing behind it.
+    let estop = gw.register(TenantSpec::new("estop", estop_net).hard(50_000_000));
+    Ok((gw, [camera, lidar, estop]))
+}
+
+fn report(name: &str, gw: &Gateway<TimingBackend>, tenants: &[TenantId; 3]) {
+    println!("\n{name}: per-tenant accounting");
+    println!(
+        "{:>8} {:>10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
+        "tenant", "lane", "subm", "done", "rej", "shed", "drop", "skip", "dl miss"
+    );
+    for &t in tenants {
+        let spec = gw.spec(t);
+        let s = gw.stats(t);
+        println!(
+            "{:>8} {:>10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
+            spec.name,
+            spec.lane.to_string(),
+            s.submitted,
+            s.completed,
+            s.rejected,
+            s.shed,
+            s.dropped,
+            s.skipped,
+            s.deadline_missed,
+        );
+    }
+}
+
+/// The deterministic frontend: the caller owns the virtual clock.
+fn run_deterministic() -> Result<(), Box<dyn std::error::Error>> {
+    let (mut gw, tenants) = build_gateway()?;
+    let [camera, lidar, estop] = tenants;
+
+    // 40 sensor frames; an emergency fires a third of the way in.
+    let mut now = 0u64;
+    for i in 0..40u64 {
+        now += 120_000 + (i % 5) * 30_000;
+        let _ = gw.submit(now, if i % 3 == 2 { lidar } else { camera });
+        if i == 13 {
+            gw.submit(now, estop).expect("the hard lane admits the emergency");
+        }
+        gw.run_until(now)?;
+    }
+    gw.run_to_idle(now + 10_000_000_000)?;
+
+    let responses = gw.drain_responses();
+    let estop_resp = responses.iter().find(|r| r.tenant == estop).expect("estop completed");
+    println!(
+        "deterministic: {} responses; estop latency {} cycles (met deadline: {}), \
+         batched best-effort dispatches: {}",
+        responses.len(),
+        estop_resp.latency(),
+        estop_resp.met(),
+        responses.iter().filter(|r| r.batched > 1).count(),
+    );
+    report("deterministic", &gw, &tenants);
+    Ok(())
+}
+
+/// The thread-based frontend: same gateway behind a bounded command
+/// channel, responses over a bounded bus.
+fn run_live() -> Result<(), Box<dyn std::error::Error>> {
+    let (gw, tenants) = build_gateway()?;
+    let [camera, lidar, estop] = tenants;
+    let server = LiveServer::spawn(gw, LiveConfig::default());
+    let responses = server.responses();
+
+    for i in 0..40u64 {
+        let _ = server.submit(if i % 3 == 2 { lidar } else { camera });
+        if i == 13 {
+            server.submit(estop).expect("the hard lane admits the emergency");
+        }
+    }
+    let live_report = server.shutdown().expect("driver drains and stops");
+    let received = responses.try_iter().count();
+    println!(
+        "live: {} responses published, {} received before shutdown; totals: {} completed, \
+         {} shed/dropped",
+        live_report.responses_published,
+        received,
+        live_report.totals.completed,
+        live_report.totals.shed + live_report.totals.dropped,
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--live") {
+        run_live()
+    } else {
+        run_deterministic()
+    }
+}

@@ -30,10 +30,12 @@ gates() {
     case "$1" in
         quick) printf '%s\n' \
             "sched BENCH_sched.json fig_sched_load" \
+            "serve BENCH_serve.json fig_serve_load" \
             "dslam BENCH_dslam.json fig_dslam_mission" ;;
         *) printf '%s\n' \
             "func BENCH_func.json perf_smoke" \
             "sched BENCH_sched.json fig_sched_load" \
+            "serve BENCH_serve.json fig_serve_load" \
             "dslam BENCH_dslam.json fig_dslam_mission" ;;
     esac
 }
@@ -56,7 +58,7 @@ case "$mode" in
         echo "bench gate: baselines refreshed — review the diff and commit"
         ;;
     --selftest)
-        # The fixture: a fresh perf_smoke snapshot, and a copy with every
+        # Fixture 1: a fresh perf_smoke snapshot, and a copy with every
         # throughput gauge halved — a deliberate 2x slowdown. The gate
         # must pass the identity comparison and fail the slowdown.
         run_bin perf_smoke
@@ -73,7 +75,24 @@ EOF
             echo "bench gate selftest: FAILED — 2x slowdown was not flagged" >&2
             exit 1
         fi
-        echo "bench gate selftest: ok (identity passes, 2x slowdown trips)"
+        # Fixture 2: a fresh fig_serve_load snapshot with every hard-lane
+        # p99 doubled — an injected serving-latency regression. Cycle-
+        # domain counters are exact-match, so the gate must trip.
+        run_bin fig_serve_load
+        python3 - "$tmp/fig_serve_load.json" "$tmp/serve_slow.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+for key in snap["counters"]:
+    if key.endswith("hard_p99"):
+        snap["counters"][key] *= 2
+json.dump(snap, open(sys.argv[2], "w"), separators=(",", ":"))
+EOF
+        ./target/release/inca-analyze --gate "$tmp/fig_serve_load.json" "$tmp/fig_serve_load.json"
+        if ./target/release/inca-analyze --gate "$tmp/fig_serve_load.json" "$tmp/serve_slow.json"; then
+            echo "bench gate selftest: FAILED — serve p99 slowdown was not flagged" >&2
+            exit 1
+        fi
+        echo "bench gate selftest: ok (identity passes, injected slowdowns trip)"
         ;;
     full|--quick)
         [ "$mode" = "--quick" ] && sel=quick || sel=full

@@ -26,6 +26,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace, INCA_PROP_CASES=${INCA_PROP_CASES})"
 cargo test --workspace -q
 
+echo "== cargo doc (inca crates, no deps, warnings are errors)"
+# The vendored stub crates are out of scope for the doc gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p inca \
+    -p inca-isa -p inca-obs -p inca-model -p inca-compiler \
+    -p inca-accel -p inca-runtime -p inca-serve -p inca-dslam -p inca-bench
+
+echo "== serving example (deterministic frontend)"
+cargo build --release --example serve -q
+./target/release/examples/serve > /dev/null
+
 if [ "${INCA_BENCH_GATE:-0}" != 0 ]; then
     echo "== bench gate (--quick)"
     scripts/bench_gate.sh --quick

@@ -17,6 +17,9 @@
 //! * [`accel`] — the accelerator engine: timing simulation, bit-exact
 //!   functional simulation, the IAU, and four interrupt strategies;
 //! * [`runtime`] — ROS-like middleware with deadline accounting;
+//! * [`serve`] — multi-core inference serving gateway: priority lanes,
+//!   same-network batching, deadline-aware admission, pluggable
+//!   placement, bounded-backpressure frontends;
 //! * [`obs`] — deterministic cycle-accurate tracing + metrics with
 //!   Perfetto/Chrome-trace, JSON and ASCII exporters;
 //! * [`dslam`] — the two-agent distributed-SLAM evaluation application.
@@ -60,3 +63,4 @@ pub use inca_isa as isa;
 pub use inca_model as model;
 pub use inca_obs as obs;
 pub use inca_runtime as runtime;
+pub use inca_serve as serve;

@@ -3,9 +3,10 @@
 //! The build container has no crates.io access, so the workspace vendors
 //! the two crossbeam facilities it uses, backed by the standard library:
 //!
-//! * [`channel`] — unbounded MPSC channels (`crossbeam::channel` API shape
-//!   over `std::sync::mpsc`; the std sender has been `Sync` since 1.72, so
-//!   the fan-out patterns the runtime uses work unchanged);
+//! * [`channel`] — unbounded and bounded MPSC channels
+//!   (`crossbeam::channel` API shape over `std::sync::mpsc`; the std
+//!   sender has been `Sync` since 1.72, so the fan-out patterns the
+//!   runtime uses work unchanged);
 //! * [`thread`] — scoped threads (`crossbeam::thread::scope` API shape
 //!   over `std::thread::scope`), used by the functional simulator's
 //!   multi-threaded CALC kernels.
@@ -13,34 +14,65 @@
 #![forbid(unsafe_code)]
 
 pub mod channel {
-    //! Unbounded channels with the `crossbeam::channel` API shape.
+    //! Unbounded and bounded channels with the `crossbeam::channel` API
+    //! shape.
 
     use std::sync::mpsc;
+    use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
-    /// Sending half of an unbounded channel.
     #[derive(Debug)]
-    pub struct Sender<T>(mpsc::Sender<T>);
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// Sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(Tx<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Self(self.0.clone())
+            Self(match &self.0 {
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            })
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends a message, failing when all receivers are gone.
+        /// Sends a message, failing when all receivers are gone. On a
+        /// bounded channel this blocks while the buffer is full.
         ///
         /// # Errors
         ///
         /// [`SendError`] when the receiving side has disconnected.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg)
+            match &self.0 {
+                Tx::Unbounded(tx) => tx.send(msg),
+                Tx::Bounded(tx) => tx.send(msg),
+            }
+        }
+
+        /// Non-blocking send. On an unbounded channel this only fails on
+        /// disconnect; on a bounded channel it also fails when full.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded buffer has no room,
+        /// [`TrySendError::Disconnected`] when the receiver is gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(tx) => {
+                    tx.send(msg).map_err(|SendError(m)| TrySendError::Disconnected(m))
+                }
+                Tx::Bounded(tx) => tx.try_send(msg),
+            }
         }
     }
 
-    /// Receiving half of an unbounded channel.
+    /// Receiving half of a channel.
     #[derive(Debug)]
     pub struct Receiver<T>(mpsc::Receiver<T>);
 
@@ -52,6 +84,16 @@ pub mod channel {
         /// [`RecvError`] when every sender has disconnected.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when nothing arrived in time,
+        /// [`RecvTimeoutError::Disconnected`] when every sender is gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Non-blocking receive.
@@ -88,7 +130,16 @@ pub mod channel {
     #[must_use]
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages.
+    /// `send` blocks when full; `try_send` fails with
+    /// [`TrySendError::Full`] instead.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
     }
 }
 
@@ -163,6 +214,33 @@ mod tests {
         tx2.send(2).unwrap();
         assert_eq!(rx.try_iter().sum::<i32>(), 3);
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn bounded_channel_backpressure() {
+        use super::channel::{bounded, TrySendError};
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::{unbounded, RecvTimeoutError};
+        use std::time::Duration;
+        let (tx, rx) = unbounded();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)).unwrap(), 7);
     }
 
     #[test]
