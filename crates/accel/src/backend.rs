@@ -128,6 +128,38 @@ pub trait Backend {
         let _ = (slot, ctx);
         Ok(())
     }
+
+    /// Whether this backend may accept whole-layer spans through
+    /// [`Backend::execute_span`]. The engine only attempts span batching
+    /// when this returns `true`.
+    fn supports_spans(&self) -> bool {
+        false
+    }
+
+    /// Executes the layer-sized pc span `span` of `program` in one fused
+    /// call, applying the job's input/output offsets itself (the span's
+    /// instructions arrive *unpatched*).
+    ///
+    /// Returns `Ok(true)` when the span was executed with effects
+    /// bit-identical to stepping each original instruction, or `Ok(false)`
+    /// to decline (the engine then falls back to stepping). A declining
+    /// implementation must leave all state untouched.
+    ///
+    /// # Errors
+    ///
+    /// Implementations should prefer declining over failing; errors are
+    /// reserved for conditions stepping would also raise immediately.
+    fn execute_span(
+        &mut self,
+        slot: TaskSlot,
+        program: &Program,
+        span: std::ops::Range<usize>,
+        input_offset: u64,
+        output_offset: u64,
+    ) -> Result<bool, SimError> {
+        let _ = (slot, program, span, input_offset, output_offset);
+        Ok(false)
+    }
 }
 
 /// The timing-only backend: instructions have cost but no data semantics.

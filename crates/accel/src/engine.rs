@@ -701,6 +701,100 @@ impl<B: Backend> Engine<B> {
         Ok(job.pc >= program.instrs.len())
     }
 
+    /// Attempts to retire the whole layer at the victim's pc as one fused
+    /// Tier-1 span (see DESIGN.md §5.6).
+    ///
+    /// Returns `Ok(None)` to fall back to [`Engine::exec_step`] — always
+    /// safe — and `Ok(Some(done))` after a committed batch whose cycle
+    /// accounting (clock, per-instruction trace, profile, DMA-overlap
+    /// credit) is identical to stepping the span. A batch is attempted
+    /// only when stepping the span could not observe an intervening
+    /// event: the pc sits exactly at a layer start with no pending SAVE
+    /// patches, and every instruction would start before the deadline and
+    /// before the earliest pending arrival.
+    fn try_exec_layer(&mut self, slot: TaskSlot, deadline: u64) -> Result<Option<bool>, SimError> {
+        if !self.backend.supports_spans() {
+            return Ok(None);
+        }
+        let program = Arc::clone(
+            self.slots[slot.index()].program.as_ref().expect("running slot has program"),
+        );
+        let job = self.slots[slot.index()].job.as_ref().expect("running slot has job");
+        if !job.flushed.is_empty() {
+            // Stepping applies SAVE patches instruction by instruction;
+            // never batch across pending ones.
+            return Ok(None);
+        }
+        let (in_off, out_off) = (job.input_offset, job.output_offset);
+        // Effective pc after the free virtual skip, computed without
+        // mutating the job (exec_step does its own skip when we decline).
+        let mut pc0 = job.pc;
+        while pc0 < program.instrs.len() && program.instrs[pc0].op.is_virtual() {
+            pc0 += 1;
+        }
+        if pc0 >= program.instrs.len() {
+            return Ok(None);
+        }
+        let range = program.layer_pc_range(program.instrs[pc0].layer);
+        if range.start != pc0 || range.end > program.instrs.len() {
+            return Ok(None); // mid-layer (e.g. resumed after a preemption)
+        }
+        // Dry-run the span's timing. The first step starts at `self.now`,
+        // which the caller already checked against deadline and arrivals.
+        let barrier = deadline.min(self.arrivals.peek().map_or(u64::MAX, |&Reverse((t, _, _))| t));
+        let mut sim_now = self.now;
+        let mut sim_credit = job.dma_credit;
+        let mut last_original = pc0;
+        let mut steps: Vec<(usize, u64, u64)> = Vec::new(); // (pc, start, cycles)
+        for pc in range.clone() {
+            let instr = &program.instrs[pc];
+            if instr.op.is_virtual() {
+                continue;
+            }
+            if !steps.is_empty() && sim_now >= barrier {
+                return Ok(None);
+            }
+            last_original = pc;
+            let mut cycles = instr_cycles(&self.cfg, program.layer_of(instr), instr);
+            if self.cfg.dma_overlap {
+                if instr.op.is_calc() {
+                    sim_credit = sim_credit.saturating_add(cycles);
+                } else {
+                    let hidden = cycles.min(sim_credit);
+                    sim_credit -= hidden;
+                    cycles -= hidden;
+                }
+            }
+            steps.push((pc, sim_now, cycles));
+            sim_now += cycles;
+        }
+        if steps.is_empty() {
+            return Ok(None);
+        }
+        if !self.backend.execute_span(slot, &program, range, in_off, out_off)? {
+            return Ok(None);
+        }
+        // Commit: byte-identical bookkeeping to stepping the span.
+        let total = sim_now - self.now;
+        for &(pc, start, cycles) in &steps {
+            let instr = &program.instrs[pc];
+            self.counters.instrs_retired += 1;
+            let (op, layer) = (instr.op, instr.layer);
+            self.tracer.emit(|| TraceEvent::InstrRetired { start, cycles, slot, op, layer });
+            if let Some(p) = self.profile.as_mut() {
+                p.charge(slot, instr, cycles);
+            }
+        }
+        self.now = sim_now;
+        let job = self.slots[slot.index()].job.as_mut().expect("job");
+        job.busy_cycles += total;
+        job.dma_credit = sim_credit;
+        // Trailing virtual groups are skipped for free by the next step,
+        // exactly as stepping would after its last original instruction.
+        job.pc = last_original + 1;
+        Ok(Some(job.pc >= program.instrs.len()))
+    }
+
     fn complete_job(&mut self, slot: TaskSlot) {
         let s = &mut self.slots[slot.index()];
         let job = s.job.take().expect("completing job exists");
@@ -1050,7 +1144,11 @@ impl<B: Backend> Engine<B> {
                     self.preempt(r, s)?;
                 }
                 (Some(r), _) => {
-                    if self.exec_step(r)? {
+                    let done = match self.try_exec_layer(r, deadline)? {
+                        Some(done) => done,
+                        None => self.exec_step(r)?,
+                    };
+                    if done {
                         self.complete_job(r);
                     }
                 }

@@ -114,7 +114,7 @@ pub(super) fn calc_into(
 /// scoped worker pool. Each output element is written by exactly one
 /// worker running a fixed sequential loop, so the result is bit-identical
 /// at every worker count.
-fn run_channels<F>(scratch: &mut [i32], g: &Geom, threads: usize, macs: u64, f: F)
+pub(super) fn run_channels<F>(scratch: &mut [i32], g: &Geom, threads: usize, macs: u64, f: F)
 where
     F: Fn(usize, &mut [i32]) + Sync,
 {
@@ -170,7 +170,7 @@ fn mac_row(acc: &mut [i32], srow: &[i8], wrow: &[i8], s: usize) {
 }
 
 /// Convolution for one output channel over all staged input channels.
-fn conv_channel(rows: &[i8], wts: &[i8], acc: &mut [i32], g: &Geom) {
+pub(super) fn conv_channel(rows: &[i8], wts: &[i8], acc: &mut [i32], g: &Geom) {
     let k2 = g.k * g.k;
     for rr in 0..g.out_rows {
         let acc_row = &mut acc[rr * g.w_out..(rr + 1) * g.w_out];
@@ -186,7 +186,7 @@ fn conv_channel(rows: &[i8], wts: &[i8], acc: &mut [i32], g: &Geom) {
 }
 
 /// Depthwise convolution for one channel (its own row frame and k² taps).
-fn dw_channel(frame: &[i8], wts: &[i8], acc: &mut [i32], g: &Geom) {
+pub(super) fn dw_channel(frame: &[i8], wts: &[i8], acc: &mut [i32], g: &Geom) {
     for rr in 0..g.out_rows {
         let acc_row = &mut acc[rr * g.w_out..(rr + 1) * g.w_out];
         for ky in 0..g.k {
@@ -200,7 +200,13 @@ fn dw_channel(frame: &[i8], wts: &[i8], acc: &mut [i32], g: &Geom) {
 /// (`i8::MIN` / `0`); the valid count is recovered arithmetically as
 /// `valid_rows(rr) × col_valid[x]`, and empty windows yield `0` exactly
 /// like the reference kernel.
-fn pool_channel(frame: &[i8], acc: &mut [i32], g: &Geom, kind: PoolKind, col_valid: &[i32]) {
+pub(super) fn pool_channel(
+    frame: &[i8],
+    acc: &mut [i32],
+    g: &Geom,
+    kind: PoolKind,
+    col_valid: &[i32],
+) {
     for rr in 0..g.out_rows {
         let acc_row = &mut acc[rr * g.w_out..(rr + 1) * g.w_out];
         match kind {

@@ -23,11 +23,20 @@
 mod kernels;
 mod reference;
 mod stage;
+mod tier1;
 
-use inca_isa::{Instr, LayerKind, LayerMeta, Opcode, Program, TaskSlot, TASK_SLOTS};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use inca_isa::{
+    compile_program, CompiledProgram, Instr, LayerKind, LayerMeta, Opcode, Program, TaskSlot,
+    TASK_SLOTS,
+};
+use inca_obs::Metrics;
 
 use crate::{Backend, SimError};
 use stage::Stage;
+use tier1::Tier1State;
 
 /// A task's DDR image (task-relative addressing, as the IAU's per-slot
 /// offset registers would provide).
@@ -267,6 +276,31 @@ pub enum CalcKernel {
     Reference,
 }
 
+/// Which execution tier a [`FuncBackend`] runs whole layers with (see
+/// DESIGN.md §5.6, "Tiered execution").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecTier {
+    /// Pure per-instruction interpretation — the differential oracle.
+    Tier0,
+    /// Trace-compiled layer programs: layers whose instruction runs the
+    /// plan compiler proved equivalent to stepping execute as one fused
+    /// whole-layer pass; everything else deopts to Tier-0 automatically.
+    #[default]
+    Tier1,
+}
+
+/// Cheap always-on Tier-1 event counters (surfaced as `tier1.*` metrics).
+#[derive(Debug, Clone, Copy, Default)]
+struct Tier1Counters {
+    compile_programs: u64,
+    compile_layers: u64,
+    compile_cache_hits: u64,
+    deopt_layers: u64,
+    deopt_dynamic: u64,
+    exec_layers: u64,
+    exec_instrs_fused: u64,
+}
+
 /// The functional backend.
 #[derive(Debug, Clone)]
 pub struct FuncBackend {
@@ -284,6 +318,12 @@ pub struct FuncBackend {
     kernel: CalcKernel,
     threads: usize,
     stage: Stage,
+    tier: ExecTier,
+    /// Compiled layer plans, keyed by [`Program::fingerprint`] (content
+    /// identity — a changed program recompiles, an identical clone hits).
+    plans: HashMap<u64, Arc<CompiledProgram>>,
+    t1state: Tier1State,
+    t1counters: Tier1Counters,
 }
 
 impl Default for FuncBackend {
@@ -299,6 +339,10 @@ impl Default for FuncBackend {
             kernel: CalcKernel::Fast,
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             stage: Stage::default(),
+            tier: ExecTier::default(),
+            plans: HashMap::new(),
+            t1state: Tier1State::default(),
+            t1counters: Tier1Counters::default(),
         }
     }
 }
@@ -341,6 +385,86 @@ impl FuncBackend {
     #[must_use]
     pub fn kernel(&self) -> CalcKernel {
         self.kernel
+    }
+
+    /// Creates a backend pinned to `tier`.
+    #[must_use]
+    pub fn with_tier(tier: ExecTier) -> Self {
+        Self { tier, ..Self::default() }
+    }
+
+    /// Selects the execution tier (takes effect at the next layer start;
+    /// compiled plans stay cached across switches).
+    pub fn set_tier(&mut self, tier: ExecTier) {
+        self.tier = tier;
+    }
+
+    /// The execution tier this backend runs whole layers with.
+    #[must_use]
+    pub fn tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// The compiled tier of `program`, compiling on first sight and
+    /// caching by content fingerprint.
+    fn plan_for(&mut self, program: &Program) -> Arc<CompiledProgram> {
+        let fp = program.fingerprint();
+        if let Some(p) = self.plans.get(&fp) {
+            self.t1counters.compile_cache_hits += 1;
+            return Arc::clone(p);
+        }
+        let compiled = Arc::new(compile_program(program));
+        self.t1counters.compile_programs += 1;
+        self.t1counters.compile_layers += compiled.compiled_layers() as u64;
+        self.t1counters.deopt_layers += compiled.deopt_layers() as u64;
+        self.plans.insert(fp, Arc::clone(&compiled));
+        compiled
+    }
+
+    /// A deterministic snapshot of the Tier-1 counters. Keys are prefixed
+    /// `tier1.`: programs/layers compiled, compile-time and dynamic
+    /// deopts, plan-cache hits, fused layers and instructions.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let c = &self.t1counters;
+        let mut m = Metrics::new();
+        m.inc("tier1.compile_programs", c.compile_programs);
+        m.inc("tier1.compile_layers", c.compile_layers);
+        m.inc("tier1.compile_cache_hits", c.compile_cache_hits);
+        m.inc("tier1.deopt_layers", c.deopt_layers);
+        m.inc("tier1.deopt_dynamic", c.deopt_dynamic);
+        m.inc("tier1.exec_layers", c.exec_layers);
+        m.inc("tier1.exec_instrs_fused", c.exec_instrs_fused);
+        m
+    }
+
+    /// Runs every original instruction of `program` once on `slot`,
+    /// engine-free (no timing, no interrupts) — batching whole layers
+    /// through Tier-1 when selected, stepping the rest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] stepping would raise.
+    pub fn run_program(&mut self, slot: TaskSlot, program: &Program) -> Result<(), SimError> {
+        self.on_switch(slot);
+        let mut pc = 0usize;
+        while pc < program.instrs.len() {
+            let instr = &program.instrs[pc];
+            if instr.op.is_virtual() {
+                pc += 1;
+                continue;
+            }
+            if self.supports_spans() {
+                let range = program.layer_pc_range(instr.layer);
+                if range.start == pc && self.execute_span(slot, program, range.clone(), 0, 0)? {
+                    pc = range.end;
+                    continue;
+                }
+            }
+            self.execute(slot, program, instr)?;
+            pc += 1;
+        }
+        Ok(())
     }
 
     /// Installs the DDR image backing `slot`.
@@ -593,6 +717,58 @@ impl Backend for FuncBackend {
         self.bufs = snap;
         self.owner = Some(slot);
         Ok(())
+    }
+
+    fn supports_spans(&self) -> bool {
+        // The reference kernel is the measurement baseline and proptest
+        // oracle; batching under it would defeat both.
+        self.tier == ExecTier::Tier1 && self.kernel == CalcKernel::Fast
+    }
+
+    fn execute_span(
+        &mut self,
+        slot: TaskSlot,
+        program: &Program,
+        span: std::ops::Range<usize>,
+        input_offset: u64,
+        output_offset: u64,
+    ) -> Result<bool, SimError> {
+        if !self.supports_spans() || span.is_empty() {
+            return Ok(false);
+        }
+        let layer = program.instrs[span.start].layer;
+        let compiled = self.plan_for(program);
+        let Some(plan) = compiled.plan(layer) else {
+            return Ok(false); // compile-time deopt, already counted
+        };
+        if plan.pc_start as usize != span.start || plan.pc_end as usize != span.end {
+            return Ok(false);
+        }
+        let meta = &program.layers[usize::from(layer)];
+        let Self { images, t1state, bytes_written, threads, t1counters, .. } = self;
+        let Some(image) = images[slot.index()].as_mut() else {
+            // Let stepping raise the exact NoImage error.
+            t1counters.deopt_dynamic += 1;
+            return Ok(false);
+        };
+        let written = &mut bytes_written[slot.index()];
+        if tier1::run_plan(
+            t1state,
+            image,
+            written,
+            *threads,
+            meta,
+            plan,
+            input_offset,
+            output_offset,
+        ) {
+            t1counters.exec_layers += 1;
+            t1counters.exec_instrs_fused += u64::from(plan.original_instrs);
+            Ok(true)
+        } else {
+            t1counters.deopt_dynamic += 1;
+            Ok(false)
+        }
     }
 
     fn rebind(&mut self, slot: TaskSlot, ctx: u64) -> Result<(), SimError> {

@@ -200,13 +200,19 @@ impl Stage {
     /// columns land inside the image — the column factor of a pool
     /// window's valid count.
     pub(super) fn stage_col_valid(&mut self, g: &Geom) {
-        self.col_valid.clear();
-        self.col_valid.reserve(g.w_out);
-        for x in 0..g.w_out {
-            let left = (x * g.s) as i64 - g.p as i64;
-            let lo = left.max(0);
-            let hi = (left + g.k as i64).min(g.w_in as i64);
-            self.col_valid.push((hi - lo).max(0) as i32);
-        }
+        fill_col_valid(&mut self.col_valid, g);
+    }
+}
+
+/// Fills `out` with per-output-column valid-column counts (shared by the
+/// Tier-0 staging path and the Tier-1 layer executor).
+pub(super) fn fill_col_valid(out: &mut Vec<i32>, g: &Geom) {
+    out.clear();
+    out.reserve(g.w_out);
+    for x in 0..g.w_out {
+        let left = (x * g.s) as i64 - g.p as i64;
+        let lo = left.max(0);
+        let hi = (left + g.k as i64).min(g.w_in as i64);
+        out.push((hi - lo).max(0) as i32);
     }
 }

@@ -69,7 +69,7 @@ pub use cost::instr_cycles;
 pub use engine::{
     Engine, Event, InterruptEvent, InterruptStrategy, JobRecord, Profile, Report, TaskState,
 };
-pub use func::{CalcKernel, DdrImage, FuncBackend};
+pub use func::{CalcKernel, DdrImage, ExecTier, FuncBackend};
 pub use multicore::{CoreId, CorePool};
 
 pub use inca_isa::{ArchSpec, Parallelism, Program, TaskSlot};

@@ -1,18 +1,29 @@
 //! CI-fast performance smoke test of the functional backend.
 //!
-//! Pushes one SuperPoint-backbone frame and one ResNet-18 basic block
-//! through `FuncBackend` under three kernel configurations — the retained
-//! naive reference kernel, the fast kernel at 1 thread, and the fast
-//! kernel at the default thread count — and prints one metrics-snapshot
-//! JSON line (`inca-obs/metrics-v1`, the schema shared by all bench bins)
-//! with MACs/s per configuration plus the speedups over the reference.
+//! Two suites, one metrics-snapshot JSON line (`inca-obs/metrics-v1`,
+//! the schema shared by all bench bins):
+//!
+//! * **Kernel suite** — pushes one SuperPoint-backbone frame and one
+//!   ResNet-18 basic block through `FuncBackend` under three kernel
+//!   configurations (the retained naive reference kernel, the fast
+//!   kernel at 1 thread, and the fast kernel at the default thread
+//!   count) and reports MACs/s per configuration plus the speedups
+//!   over the reference.
+//! * **Tier suite** — runs end-to-end MobileNetV1 and ResNet-18 under
+//!   both execution tiers (`Tier0` per-instruction stepping vs `Tier1`
+//!   trace-compiled layer programs) and reports
+//!   `{name}.tier0_macs_per_s` / `{name}.tier1_macs_per_s` /
+//!   `{name}.tier1_speedup` side by side.
 //!
 //! Run with `cargo run --release -p inca-bench --bin perf_smoke`; numbers
-//! are tracked in EXPERIMENTS.md ("Functional backend fast path").
+//! are tracked in EXPERIMENTS.md ("Functional backend fast path") and
+//! gated against `BENCH_func.json` by `scripts/bench_gate.sh`.
 
 use std::time::Instant;
 
-use inca_accel::{AccelConfig, Backend, CalcKernel, DdrImage, FuncBackend, Program, TaskSlot};
+use inca_accel::{
+    AccelConfig, Backend, CalcKernel, DdrImage, ExecTier, FuncBackend, Program, TaskSlot,
+};
 use inca_compiler::Compiler;
 use inca_model::{zoo, Network, NetworkBuilder, Shape3};
 use inca_obs::{Metrics, MetricsSnapshot};
@@ -50,6 +61,27 @@ fn measure(mut backend: FuncBackend, program: &Program, iters: usize) -> f64 {
     (0..iters).map(|_| run_once(&mut backend, program)).fold(f64::INFINITY, f64::min)
 }
 
+/// Runs the whole program once through `FuncBackend::run_program` (the
+/// engine-free entry point, which batches compiled layers on Tier-1 and
+/// steps instructions on Tier-0); returns wall seconds.
+fn run_program_once(backend: &mut FuncBackend, program: &Program) -> f64 {
+    let slot = TaskSlot::LOWEST;
+    backend.install_image(slot, DdrImage::for_program(program, 0xBEEF));
+    let t0 = Instant::now();
+    backend.run_program(slot, program).expect("perf_smoke program executes");
+    t0.elapsed().as_secs_f64()
+}
+
+/// Best-of-`iters` wall time for one tier at 1 thread (tier comparison
+/// isolates dispatch overhead, not thread scaling), after one warm-up
+/// run that also compiles and caches the layer plans.
+fn measure_tier(tier: ExecTier, program: &Program, iters: usize) -> f64 {
+    let mut backend = FuncBackend::with_tier(tier);
+    backend.set_threads(1);
+    run_program_once(&mut backend, program);
+    (0..iters).map(|_| run_program_once(&mut backend, program)).fold(f64::INFINITY, f64::min)
+}
+
 fn main() {
     let compiler = Compiler::new(AccelConfig::paper_small().arch);
     let workloads = [
@@ -72,6 +104,23 @@ fn main() {
         m.set_gauge(&format!("{name}.fast_default_macs_per_s"), macs / t_fastn);
         m.set_gauge(&format!("{name}.speedup_1t"), t_ref / t_fast1);
         m.set_gauge(&format!("{name}.speedup_default"), t_ref / t_fastn);
+    }
+
+    // Tier suite: end-to-end networks, Tier-0 stepping vs Tier-1
+    // trace-compiled layer programs, fast kernel at 1 thread for both.
+    let tier_workloads = [
+        (zoo::mobilenet_v1(Shape3::new(3, 96, 96)).unwrap(), "mobilenet_v1_96x96"),
+        (zoo::resnet18(Shape3::new(3, 64, 64)).unwrap(), "resnet18_64x64"),
+    ];
+    for (net, name) in &tier_workloads {
+        let program = compiler.compile_vi(net).unwrap();
+        let macs = net.total_macs() as f64;
+        let t0 = measure_tier(ExecTier::Tier0, &program, 3);
+        let t1 = measure_tier(ExecTier::Tier1, &program, 3);
+        m.inc(&format!("{name}.macs"), macs as u64);
+        m.set_gauge(&format!("{name}.tier0_macs_per_s"), macs / t0);
+        m.set_gauge(&format!("{name}.tier1_macs_per_s"), macs / t1);
+        m.set_gauge(&format!("{name}.tier1_speedup"), t0 / t1);
     }
     println!("{}", MetricsSnapshot::new("perf_smoke", m).to_json());
 }

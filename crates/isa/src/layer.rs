@@ -159,7 +159,7 @@ impl LayerKind {
 }
 
 /// Lowered execution metadata for one layer of a compiled [`crate::Program`].
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct LayerMeta {
     /// Layer id (its index in `Program::layers`).
     pub id: u16,

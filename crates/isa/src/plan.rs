@@ -1,0 +1,837 @@
+//! Tier-1 layer plans: ahead-of-time compilation of a [`Program`]'s
+//! instruction stream into fused per-layer execution plans.
+//!
+//! The Tier-0 interpreter executes one [`Instr`] at a time, paying
+//! per-instruction dispatch, buffer bookkeeping and operand staging for
+//! every tile. A network's stream is fully known ahead of time, though, so
+//! a whole layer can be *trace-compiled* once into a [`LayerPlan`]: a plan
+//! proves (symbolically, against the stream itself) that the layer's
+//! loads place exactly the canonically-addressed operand bytes its CALCs
+//! consume and that its SAVEs write exactly the bytes its blobs finalise —
+//! after which an executor may run the whole layer with resolved DDR
+//! addresses and branch-free inner loops, bit-identically to stepping.
+//!
+//! Compilation is *conservative*: any shape the verifier cannot prove
+//! equivalent deopts that layer to the interpreter ([`DeoptReason`]), which
+//! remains the differential oracle. Plans carry no addresses resolved
+//! against a concrete DDR image; per-job input/output offsets are applied
+//! by the executor using the same region tests as the engine's
+//! offset-patching, so one plan serves every job of the program.
+
+use crate::{Instr, LayerKind, LayerMeta, Opcode, PoolKind, Program};
+
+/// Why a layer could not be tier-1 compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeoptReason {
+    /// Layer kind the compiled tier does not implement (e.g. GeM spatial
+    /// pooling, which only exists as `GlobalPool`).
+    UnsupportedKind,
+    /// Worst-case accumulator magnitude could reach `i32` saturation, so
+    /// the interpreter's per-group saturating merge is not provably equal
+    /// to one whole-layer wrapping pass.
+    PotentialOverflow,
+    /// Geometry too large for the plan's `u16` whole-layer tile.
+    ShapeTooLarge,
+    /// A tile stepped outside the layer's declared shapes.
+    TileOutOfBounds,
+    /// A load's DDR address differs from the canonical layout address, so
+    /// the plan cannot re-derive operand bytes from the layer metadata.
+    NonCanonicalAddress,
+    /// Loads of one operand straddle the input-offset region boundary
+    /// (some shifted by the IAU's `InputOffset`, some not).
+    MixedOffsetRegion,
+    /// A CALC demanded data or weights no prior load of the layer placed.
+    MissingOperand,
+    /// CALCs of one blob disagree on the output tile, re-accumulate after
+    /// finalisation, or their input-channel ranges do not exactly
+    /// partition `[0, c_in)`.
+    BlobShape,
+    /// A SAVE covered output cells no finalized blob (or more than one)
+    /// provides.
+    SaveCoverage,
+    /// The layer's instructions are not one contiguous pc run.
+    SplitLayer,
+    /// The layer has no original instructions.
+    Empty,
+}
+
+impl std::fmt::Display for DeoptReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DeoptReason::UnsupportedKind => "unsupported-kind",
+            DeoptReason::PotentialOverflow => "potential-overflow",
+            DeoptReason::ShapeTooLarge => "shape-too-large",
+            DeoptReason::TileOutOfBounds => "tile-out-of-bounds",
+            DeoptReason::NonCanonicalAddress => "non-canonical-address",
+            DeoptReason::MixedOffsetRegion => "mixed-offset-region",
+            DeoptReason::MissingOperand => "missing-operand",
+            DeoptReason::BlobShape => "blob-shape",
+            DeoptReason::SaveCoverage => "save-coverage",
+            DeoptReason::SplitLayer => "split-layer",
+            DeoptReason::Empty => "empty-layer",
+        })
+    }
+}
+
+/// One SAVE of a compiled layer, as a resolved store span.
+///
+/// The executor writes, for each channel `j < chans`, the contiguous
+/// `rows·w_out` bytes of the whole-layer accumulator starting at output
+/// cell `(c0+j, h0)` to `addr (+ job output offset when shifted) +
+/// j·h_out·w_out` — byte-for-byte what the interpreter's per-row SAVE
+/// loop produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSpan {
+    /// Task-relative DDR address of the span (tile origin).
+    pub addr: u64,
+    /// First output channel.
+    pub c0: u16,
+    /// Output channels covered.
+    pub chans: u16,
+    /// First output row.
+    pub h0: u16,
+    /// Output rows covered.
+    pub rows: u16,
+    /// Whether the engine's offset patching would shift this SAVE by the
+    /// job's `OutputOffset` (it lies in the designated-output region).
+    pub shifted: bool,
+}
+
+impl StoreSpan {
+    /// Total bytes this span writes.
+    #[must_use]
+    pub fn bytes(&self, w_out: u64) -> u64 {
+        u64::from(self.chans) * u64::from(self.rows) * w_out
+    }
+}
+
+/// A half-open task-relative DDR byte range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hull {
+    /// First byte.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+}
+
+impl Hull {
+    /// Shifts the hull by a job offset.
+    #[must_use]
+    pub fn shifted(self, off: u64) -> Hull {
+        Hull { start: self.start + off, end: self.end + off }
+    }
+
+    /// Whether two hulls overlap.
+    #[must_use]
+    pub fn overlaps(self, other: Hull) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// A fused whole-layer execution plan (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerPlan {
+    /// Layer id.
+    pub layer: u16,
+    /// First pc of the layer's run.
+    pub pc_start: u32,
+    /// One past the last pc of the layer's run.
+    pub pc_end: u32,
+    /// pc of the last *original* instruction in the run. After a batched
+    /// execution the job's pc is `last_original_pc + 1`, so any trailing
+    /// virtual group is handled exactly as stepping would.
+    pub last_original_pc: u32,
+    /// Original (non-virtual) instructions in the run.
+    pub original_instrs: u32,
+    /// Whether operand-1 loads lie in the network-input region (shifted by
+    /// the job's `InputOffset`).
+    pub input_shifted: bool,
+    /// Whether operand-2 loads (Add layers) lie in the network-input
+    /// region.
+    pub input2_shifted: bool,
+    /// Full operand-1 feature-map hull `[input_addr, +c_in·h_in·w_in)`.
+    pub input_hull: Hull,
+    /// Full operand-2 hull (Add layers only).
+    pub input2_hull: Option<Hull>,
+    /// Full weight-region hull (weighted layers only).
+    pub weight_hull: Option<Hull>,
+    /// The layer's SAVEs, in pc order.
+    pub stores: Vec<StoreSpan>,
+    /// Union hull of all stores (unshifted).
+    pub store_hull: Option<Hull>,
+}
+
+/// Per-layer compilation outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerTier {
+    /// The layer runs fused.
+    Compiled(LayerPlan),
+    /// The layer deopts to the Tier-0 interpreter.
+    Deopt(DeoptReason),
+}
+
+/// A program's compiled tier: one [`LayerTier`] per layer, keyed by the
+/// program's content [`Program::fingerprint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledProgram {
+    /// The fingerprint of the program this was compiled from.
+    pub fingerprint: u64,
+    /// Per-layer plans, indexed by layer id.
+    pub layers: Vec<LayerTier>,
+}
+
+impl CompiledProgram {
+    /// The plan for `layer`, when it compiled.
+    #[must_use]
+    pub fn plan(&self, layer: u16) -> Option<&LayerPlan> {
+        match self.layers.get(usize::from(layer)) {
+            Some(LayerTier::Compiled(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Number of layers that compiled.
+    #[must_use]
+    pub fn compiled_layers(&self) -> usize {
+        self.layers.iter().filter(|t| matches!(t, LayerTier::Compiled(_))).count()
+    }
+
+    /// Number of layers that deopted.
+    #[must_use]
+    pub fn deopt_layers(&self) -> usize {
+        self.layers.len() - self.compiled_layers()
+    }
+}
+
+/// Compiles every layer of `program` that can be proven equivalent to
+/// stepping; the rest carry a [`DeoptReason`].
+#[must_use]
+pub fn compile_program(program: &Program) -> CompiledProgram {
+    let layers = (0..program.layers.len()).map(|l| compile_layer(program, l as u16)).collect();
+    CompiledProgram { fingerprint: program.fingerprint(), layers }
+}
+
+/// A dense presence bitmap over a rectangular index space.
+struct Bitmap {
+    words: Vec<u64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Bitmap {
+    fn new(rows: usize, cols: usize) -> Self {
+        Self { words: vec![0; (rows * cols).div_ceil(64)], rows, cols }
+    }
+
+    fn set(&mut self, a: usize, b: usize) {
+        let i = a * self.cols + b;
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Out-of-space indices read as absent (a CALC can demand channels no
+    /// load could legally place, e.g. `out.c > in.c` on a pool — that is
+    /// a missing operand, not a compiler panic).
+    fn get(&self, a: usize, b: usize) -> bool {
+        if a >= self.rows || b >= self.cols {
+            return false;
+        }
+        let i = a * self.cols + b;
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+}
+
+/// Symbolic model of one output blob, mirroring the interpreter's
+/// `OutBlob` lifecycle (create on first CALC, finalize on `CALC_F`,
+/// retire on `SAVE`).
+struct SymBlob {
+    blob: u32,
+    c0: u16,
+    chans: u16,
+    h0: u16,
+    rows: u16,
+    /// Input-channel ranges accumulated so far, `(ic0, ics)` per CALC.
+    ic_ranges: Vec<(u16, u16)>,
+    calcs: u32,
+    finalized: bool,
+}
+
+impl SymBlob {
+    fn covers(&self, ch: u32, row: u32) -> bool {
+        ch >= u32::from(self.c0)
+            && ch < u32::from(self.c0) + u32::from(self.chans)
+            && row >= u32::from(self.h0)
+            && row < u32::from(self.h0) + u32::from(self.rows)
+    }
+}
+
+/// Worst-case `|accumulator|` bound for a whole-layer reduction: if it
+/// stays below `i31`, the interpreter's saturating per-group merge can
+/// never saturate and equals one wrapping whole-layer pass.
+fn overflow_safe(meta: &LayerMeta) -> bool {
+    let k2 = u64::from(meta.kind.kernel()) * u64::from(meta.kind.kernel());
+    let terms = match meta.kind {
+        LayerKind::Conv { .. } | LayerKind::FullyConnected => u64::from(meta.in_shape.c) * k2,
+        LayerKind::DwConv { .. } => k2,
+        // Pools/adds never multiply two int8 operands; their magnitudes
+        // are bounded by the window sum, far below i32.
+        LayerKind::Pool { .. } | LayerKind::GlobalPool { .. } | LayerKind::Add => return true,
+    };
+    terms.saturating_mul(127 * 127) < (1u64 << 31)
+}
+
+/// The set of input rows a CALC tile demands from the data buffer —
+/// exactly the rows the fast path's `stage_rows` copies (deduplicated
+/// virtual rows, clipped to the image).
+fn demanded_rows(tile_h0: u16, tile_rows: u16, meta: &LayerMeta) -> Vec<u32> {
+    let k = usize::from(meta.kind.kernel());
+    let s = usize::from(meta.kind.stride());
+    let p = i64::from(meta.kind.pad());
+    let h_in = i64::from(meta.in_shape.h);
+    let vr0 = i64::from(tile_h0) * s as i64 - p;
+    let mut rows = Vec::new();
+    let mut next = 0usize;
+    for rr in 0..usize::from(tile_rows) {
+        for ky in 0..k {
+            let vr = rr * s + ky;
+            if vr < next {
+                continue;
+            }
+            next = vr + 1;
+            let in_r = vr0 + vr as i64;
+            if (0..h_in).contains(&in_r) {
+                rows.push(in_r as u32);
+            }
+        }
+    }
+    rows
+}
+
+struct LayerCompiler<'a> {
+    program: &'a Program,
+    meta: &'a LayerMeta,
+    /// `(buffer-virtual channel, input row)` presence.
+    data: Bitmap,
+    /// `(oc, ic)` presence (depthwise: `(c, 0)`).
+    weights: Bitmap,
+    input_shifted: Option<bool>,
+    input2_shifted: Option<bool>,
+    blobs: Vec<SymBlob>,
+    stores: Vec<StoreSpan>,
+}
+
+impl LayerCompiler<'_> {
+    /// Buffer-virtual input channels: Add layers address operand 2 at
+    /// `c_in + c`.
+    fn virtual_chans(&self) -> u32 {
+        match self.meta.kind {
+            LayerKind::Add => self.meta.in_shape.c * 2,
+            _ => self.meta.in_shape.c,
+        }
+    }
+
+    fn load_d(&mut self, instr: &Instr) -> Result<(), DeoptReason> {
+        let m = self.meta;
+        let t = instr.tile;
+        let (h_in, w_in) = (u64::from(m.in_shape.h), u64::from(m.in_shape.w));
+        let c_in = m.in_shape.c;
+        let (c0, chans) = (u32::from(t.c0), u32::from(t.chans));
+        let (h0, rows) = (u32::from(t.h0), u32::from(t.rows));
+        if h0 + rows > m.in_shape.h || c0 + chans > self.virtual_chans() {
+            return Err(DeoptReason::TileOutOfBounds);
+        }
+        // Which operand — loads must not straddle the boundary.
+        let op2 = c0 >= c_in;
+        if !op2 && c0 + chans > c_in {
+            return Err(DeoptReason::NonCanonicalAddress);
+        }
+        let canonical = if op2 {
+            let base = m.input2_addr.ok_or(DeoptReason::NonCanonicalAddress)?;
+            base + (u64::from(c0 - c_in) * h_in + u64::from(h0)) * w_in
+        } else {
+            m.input_addr + (u64::from(c0) * h_in + u64::from(h0)) * w_in
+        };
+        if instr.ddr.addr != canonical {
+            return Err(DeoptReason::NonCanonicalAddress);
+        }
+        let shifted =
+            self.program.memory.in_input_region(instr.ddr.addr, u64::from(instr.ddr.bytes));
+        let flag = if op2 { &mut self.input2_shifted } else { &mut self.input_shifted };
+        match flag {
+            None => *flag = Some(shifted),
+            Some(prev) if *prev != shifted => return Err(DeoptReason::MixedOffsetRegion),
+            Some(_) => {}
+        }
+        for j in 0..chans {
+            for r in 0..rows {
+                self.data.set((c0 + j) as usize, (h0 + r) as usize);
+            }
+        }
+        Ok(())
+    }
+
+    fn load_w(&mut self, instr: &Instr) -> Result<(), DeoptReason> {
+        let m = self.meta;
+        let t = instr.tile;
+        let k2 = u64::from(m.kind.kernel()) * u64::from(m.kind.kernel());
+        let (c0, chans) = (u32::from(t.c0), u32::from(t.chans));
+        if matches!(m.kind, LayerKind::DwConv { .. }) {
+            if c0 + chans > m.out_shape.c {
+                return Err(DeoptReason::TileOutOfBounds);
+            }
+            if instr.ddr.addr != m.weight_addr + u64::from(c0) * k2 {
+                return Err(DeoptReason::NonCanonicalAddress);
+            }
+            for j in 0..chans {
+                self.weights.set((c0 + j) as usize, 0);
+            }
+            return Ok(());
+        }
+        let c_in = u64::from(m.in_shape.c);
+        let (ic0, ics) = (u32::from(t.ic0), u32::from(t.ics));
+        if c0 + chans > m.out_shape.c || u64::from(ic0 + ics) > c_in {
+            return Err(DeoptReason::TileOutOfBounds);
+        }
+        if instr.ddr.addr != m.weight_addr + (u64::from(c0) * c_in + u64::from(ic0)) * k2 {
+            return Err(DeoptReason::NonCanonicalAddress);
+        }
+        for j in 0..chans {
+            for i in 0..ics {
+                self.weights.set((c0 + j) as usize, (ic0 + i) as usize);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a CALC's operand demands against what the layer's loads have
+    /// placed so far (mirroring the staging lookups), then advances the
+    /// blob lifecycle.
+    fn calc(&mut self, instr: &Instr) -> Result<(), DeoptReason> {
+        let m = self.meta;
+        let t = instr.tile;
+        if u32::from(t.h0) + u32::from(t.rows) > m.out_shape.h
+            || u32::from(t.c0) + u32::from(t.chans) > m.out_shape.c
+        {
+            return Err(DeoptReason::TileOutOfBounds);
+        }
+        // Operand demands, per kind.
+        match m.kind {
+            LayerKind::Conv { .. } => {
+                if u32::from(t.ic0) + u32::from(t.ics) > m.in_shape.c {
+                    return Err(DeoptReason::TileOutOfBounds);
+                }
+                let rows = demanded_rows(t.h0, t.rows, m);
+                for ic in t.ic_range() {
+                    for &r in &rows {
+                        if !self.data.get(ic as usize, r as usize) {
+                            return Err(DeoptReason::MissingOperand);
+                        }
+                    }
+                }
+                for oc in t.chan_range() {
+                    for ic in t.ic_range() {
+                        if !self.weights.get(oc as usize, ic as usize) {
+                            return Err(DeoptReason::MissingOperand);
+                        }
+                    }
+                }
+            }
+            LayerKind::DwConv { .. } | LayerKind::Pool { .. } => {
+                let rows = demanded_rows(t.h0, t.rows, m);
+                for c in t.chan_range() {
+                    for &r in &rows {
+                        if !self.data.get(c as usize, r as usize) {
+                            return Err(DeoptReason::MissingOperand);
+                        }
+                    }
+                    if m.kind.has_weights() && !self.weights.get(c as usize, 0) {
+                        return Err(DeoptReason::MissingOperand);
+                    }
+                }
+            }
+            LayerKind::GlobalPool { .. } => {
+                for c in t.chan_range() {
+                    for r in 0..m.in_shape.h {
+                        if !self.data.get(c as usize, r as usize) {
+                            return Err(DeoptReason::MissingOperand);
+                        }
+                    }
+                }
+            }
+            LayerKind::Add => {
+                let c_in = m.in_shape.c;
+                for c in t.chan_range() {
+                    for rr in 0..u32::from(t.rows) {
+                        let r = (u32::from(t.h0) + rr) as usize;
+                        if !self.data.get(c as usize, r) || !self.data.get((c + c_in) as usize, r) {
+                            return Err(DeoptReason::MissingOperand);
+                        }
+                    }
+                }
+            }
+            LayerKind::FullyConnected => {
+                if u32::from(t.ic0) + u32::from(t.ics) > m.in_shape.c {
+                    return Err(DeoptReason::TileOutOfBounds);
+                }
+                for oc in t.chan_range() {
+                    for ic in t.ic_range() {
+                        if !self.weights.get(oc as usize, ic as usize)
+                            || !self.data.get(ic as usize, 0)
+                        {
+                            return Err(DeoptReason::MissingOperand);
+                        }
+                    }
+                }
+            }
+        }
+        // Blob lifecycle.
+        match self.blobs.iter_mut().find(|b| b.blob == instr.blob) {
+            Some(b) => {
+                if b.finalized || (b.c0, b.chans, b.h0, b.rows) != (t.c0, t.chans, t.h0, t.rows) {
+                    return Err(DeoptReason::BlobShape);
+                }
+                b.ic_ranges.push((t.ic0, t.ics));
+                b.calcs += 1;
+                b.finalized = instr.op == Opcode::CalcF;
+            }
+            None => self.blobs.push(SymBlob {
+                blob: instr.blob,
+                c0: t.c0,
+                chans: t.chans,
+                h0: t.h0,
+                rows: t.rows,
+                ic_ranges: vec![(t.ic0, t.ics)],
+                calcs: 1,
+                finalized: instr.op == Opcode::CalcF,
+            }),
+        }
+        Ok(())
+    }
+
+    /// Verifies a SAVE against the blob model: every demanded cell comes
+    /// from exactly one finalized blob whose accumulation equals the
+    /// whole-layer pass, then retires blobs the interpreter would.
+    fn save(&mut self, instr: &Instr) -> Result<(), DeoptReason> {
+        let m = self.meta;
+        let t = instr.tile;
+        if u32::from(t.h0) + u32::from(t.rows) > m.out_shape.h
+            || u32::from(t.c0) + u32::from(t.chans) > m.out_shape.c
+        {
+            return Err(DeoptReason::TileOutOfBounds);
+        }
+        let c_in = m.in_shape.c;
+        for j in 0..u32::from(t.chans) {
+            let ch = u32::from(t.c0) + j;
+            for rr in 0..u32::from(t.rows) {
+                let row = u32::from(t.h0) + rr;
+                let mut covering = self.blobs.iter().filter(|b| b.finalized && b.covers(ch, row));
+                let Some(b) = covering.next() else {
+                    return Err(DeoptReason::SaveCoverage);
+                };
+                if covering.next().is_some() {
+                    return Err(DeoptReason::SaveCoverage);
+                }
+                if m.kind.reduces_input_channels() {
+                    // The blob's CALC ic ranges must exactly tile [0, c_in)
+                    // for its content to equal the whole-layer reduction.
+                    let mut ranges: Vec<(u16, u16)> = b.ic_ranges.clone();
+                    ranges.sort_unstable();
+                    let mut next = 0u32;
+                    for (ic0, ics) in ranges {
+                        if u32::from(ic0) != next {
+                            return Err(DeoptReason::BlobShape);
+                        }
+                        next += u32::from(ics);
+                    }
+                    if next != c_in {
+                        return Err(DeoptReason::BlobShape);
+                    }
+                } else if b.calcs != 1 {
+                    // Non-reducing kinds accumulate per CALC; more than one
+                    // would double-add relative to the whole-layer pass.
+                    return Err(DeoptReason::BlobShape);
+                }
+            }
+        }
+        self.stores.push(StoreSpan {
+            addr: instr.ddr.addr,
+            c0: t.c0,
+            chans: t.chans,
+            h0: t.h0,
+            rows: t.rows,
+            shifted: self
+                .program
+                .memory
+                .in_output_region(instr.ddr.addr, u64::from(instr.ddr.bytes)),
+        });
+        // Retirement mirrors the interpreter exactly (including blobs that
+        // never finalized).
+        let (c0, c1) = (u32::from(t.c0), u32::from(t.c0) + u32::from(t.chans));
+        self.blobs.retain(|b| {
+            !(b.h0 == t.h0 && u32::from(b.c0) >= c0 && u32::from(b.c0) + u32::from(b.chans) <= c1)
+        });
+        Ok(())
+    }
+}
+
+fn compile_layer(program: &Program, layer: u16) -> LayerTier {
+    match try_compile_layer(program, layer) {
+        Ok(plan) => LayerTier::Compiled(plan),
+        Err(r) => LayerTier::Deopt(r),
+    }
+}
+
+fn try_compile_layer(program: &Program, layer: u16) -> Result<LayerPlan, DeoptReason> {
+    let meta = &program.layers[usize::from(layer)];
+    if matches!(meta.kind, LayerKind::Pool { kind: PoolKind::Gem { .. }, .. }) {
+        return Err(DeoptReason::UnsupportedKind);
+    }
+    if !overflow_safe(meta) {
+        return Err(DeoptReason::PotentialOverflow);
+    }
+    // The whole-layer tile and plan bookkeeping use u16 extents.
+    let c_virtual = match meta.kind {
+        LayerKind::Add => u64::from(meta.in_shape.c) * 2,
+        _ => u64::from(meta.in_shape.c),
+    };
+    if u64::from(meta.out_shape.h) > u64::from(u16::MAX)
+        || u64::from(meta.out_shape.c) > u64::from(u16::MAX)
+        || u64::from(meta.in_shape.h) > u64::from(u16::MAX)
+        || c_virtual > u64::from(u16::MAX)
+    {
+        return Err(DeoptReason::ShapeTooLarge);
+    }
+    // The fused Add executor reads `w_out` bytes per input row directly
+    // from the operand hulls; an output extent exceeding the input extent
+    // would read bytes the interpreter never demands.
+    if matches!(meta.kind, LayerKind::Add)
+        && (meta.out_shape.c > meta.in_shape.c
+            || meta.out_shape.h > meta.in_shape.h
+            || meta.out_shape.w > meta.in_shape.w)
+    {
+        return Err(DeoptReason::ShapeTooLarge);
+    }
+    let range = program.layer_pc_range(layer);
+    if range.is_empty() {
+        return Err(DeoptReason::Empty);
+    }
+    // Every instruction of this layer must live inside the (first) run.
+    let in_range = program.instrs.iter().filter(|i| i.layer == layer).count();
+    if in_range != range.len() {
+        return Err(DeoptReason::SplitLayer);
+    }
+    if program.instrs[range.start].op.is_virtual() {
+        // A batch entered at the layer start must begin on an original
+        // instruction, exactly like the stepping path's virtual skip.
+        return Err(DeoptReason::SplitLayer);
+    }
+
+    let mut lc = LayerCompiler {
+        program,
+        meta,
+        data: Bitmap::new(c_virtual as usize, meta.in_shape.h as usize),
+        weights: Bitmap::new(
+            meta.out_shape.c as usize,
+            if matches!(meta.kind, LayerKind::DwConv { .. }) {
+                1
+            } else {
+                meta.in_shape.c as usize
+            },
+        ),
+        input_shifted: None,
+        input2_shifted: None,
+        blobs: Vec::new(),
+        stores: Vec::new(),
+    };
+
+    let mut last_original = None;
+    let mut originals = 0u32;
+    for pc in range.clone() {
+        let instr = &program.instrs[pc];
+        if instr.op.is_virtual() {
+            continue; // skipped for free by stepping; not part of the batch
+        }
+        last_original = Some(pc as u32);
+        originals += 1;
+        match instr.op {
+            Opcode::LoadD => lc.load_d(instr)?,
+            Opcode::LoadW => lc.load_w(instr)?,
+            Opcode::CalcI | Opcode::CalcF => lc.calc(instr)?,
+            Opcode::Save => lc.save(instr)?,
+            _ => return Err(DeoptReason::UnsupportedKind),
+        }
+    }
+    let last_original_pc = last_original.ok_or(DeoptReason::Empty)?;
+    if lc.stores.is_empty() {
+        // A layer that never saves has no observable effect worth fusing;
+        // keep stepping it.
+        return Err(DeoptReason::Empty);
+    }
+
+    let (h_in, w_in) = (u64::from(meta.in_shape.h), u64::from(meta.in_shape.w));
+    let fm_bytes = u64::from(meta.in_shape.c) * h_in * w_in;
+    let input_hull = Hull { start: meta.input_addr, end: meta.input_addr + fm_bytes };
+    let input2_hull = match meta.kind {
+        LayerKind::Add => {
+            let base = meta.input2_addr.ok_or(DeoptReason::NonCanonicalAddress)?;
+            Some(Hull { start: base, end: base + fm_bytes })
+        }
+        _ => None,
+    };
+    let weight_hull = if meta.kind.has_weights() {
+        let k2 = u64::from(meta.kind.kernel()) * u64::from(meta.kind.kernel());
+        let n = match meta.kind {
+            LayerKind::DwConv { .. } => u64::from(meta.out_shape.c) * k2,
+            _ => u64::from(meta.out_shape.c) * u64::from(meta.in_shape.c) * k2,
+        };
+        Some(Hull { start: meta.weight_addr, end: meta.weight_addr + n })
+    } else {
+        None
+    };
+    let (h_out, w_out) = (u64::from(meta.out_shape.h), u64::from(meta.out_shape.w));
+    let store_hull = lc.stores.iter().fold(None, |acc: Option<Hull>, s| {
+        let end = s.addr + u64::from(s.chans - 1) * h_out * w_out + u64::from(s.rows) * w_out;
+        Some(match acc {
+            None => Hull { start: s.addr, end },
+            Some(h) => Hull { start: h.start.min(s.addr), end: h.end.max(end) },
+        })
+    });
+
+    Ok(LayerPlan {
+        layer,
+        pc_start: range.start as u32,
+        pc_end: range.end as u32,
+        last_original_pc,
+        original_instrs: originals,
+        input_shifted: lc.input_shifted.unwrap_or(false),
+        input2_shifted: lc.input2_shifted.unwrap_or(false),
+        input_hull,
+        input2_hull,
+        weight_hull,
+        stores: lc.stores,
+        store_hull,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DdrRange, Shape3, Tile};
+
+    fn conv_layer() -> LayerMeta {
+        LayerMeta {
+            id: 0,
+            name: "c0".into(),
+            kind: LayerKind::Conv { kernel: 3, stride: 1, pad: 1 },
+            in_shape: Shape3::new(2, 4, 4),
+            out_shape: Shape3::new(2, 4, 4),
+            input_addr: 0,
+            input2_addr: None,
+            output_addr: 100,
+            weight_addr: 200,
+            weight_bytes: 2 * 2 * 9,
+            quant_shift: 6,
+            relu: false,
+        }
+    }
+
+    /// A minimal canonical layer: full loads, one CALC_F over everything,
+    /// one SAVE.
+    fn canonical_program() -> Program {
+        let m = conv_layer();
+        let mut b = Program::builder("p");
+        b.layers.push(m.clone());
+        b.push(Instr::transfer(
+            Opcode::LoadD,
+            0,
+            0,
+            Tile::rows_chans(0, 4, 0, 2),
+            DdrRange::new(0, 32),
+        ));
+        b.push(Instr::transfer(
+            Opcode::LoadW,
+            0,
+            0,
+            Tile::new(0, 0, 0, 2, 0, 2),
+            DdrRange::new(200, 36),
+        ));
+        b.push(Instr::calc(Opcode::CalcF, 0, 0, Tile::new(0, 4, 0, 2, 0, 2)));
+        let sid = b.alloc_save_id();
+        b.push(
+            Instr::transfer(
+                Opcode::Save,
+                0,
+                0,
+                Tile::rows_chans(0, 4, 0, 2),
+                DdrRange::new(100, 32),
+            )
+            .with_save_id(sid),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn canonical_layer_compiles() {
+        let p = canonical_program();
+        let c = compile_program(&p);
+        assert_eq!(c.fingerprint, p.fingerprint());
+        assert_eq!(c.compiled_layers(), 1);
+        let plan = c.plan(0).expect("compiled");
+        assert_eq!(plan.pc_start, 0);
+        assert_eq!(plan.last_original_pc, 3);
+        assert_eq!(plan.stores.len(), 1);
+        assert_eq!(plan.stores[0].bytes(4), 32);
+        assert_eq!(plan.weight_hull, Some(Hull { start: 200, end: 236 }));
+    }
+
+    #[test]
+    fn missing_load_deopts() {
+        let m = conv_layer();
+        let mut b = Program::builder("p");
+        b.layers.push(m);
+        // No LOAD_D at all.
+        b.push(Instr::transfer(
+            Opcode::LoadW,
+            0,
+            0,
+            Tile::new(0, 0, 0, 2, 0, 2),
+            DdrRange::new(200, 36),
+        ));
+        b.push(Instr::calc(Opcode::CalcF, 0, 0, Tile::new(0, 4, 0, 2, 0, 2)));
+        b.push(Instr::transfer(
+            Opcode::Save,
+            0,
+            0,
+            Tile::rows_chans(0, 4, 0, 2),
+            DdrRange::new(100, 32),
+        ));
+        let p = b.build().unwrap();
+        let c = compile_program(&p);
+        assert_eq!(c.layers[0], LayerTier::Deopt(DeoptReason::MissingOperand));
+    }
+
+    #[test]
+    fn non_canonical_address_deopts() {
+        let mut p = canonical_program();
+        p.instrs[0].ddr.addr = 1; // off-canonical by one byte
+        let c = compile_program(&p);
+        assert_eq!(c.layers[0], LayerTier::Deopt(DeoptReason::NonCanonicalAddress));
+    }
+
+    #[test]
+    fn save_without_finalize_deopts() {
+        let mut p = canonical_program();
+        p.instrs[2].op = Opcode::CalcI; // never finalized
+        let c = compile_program(&p);
+        assert_eq!(c.layers[0], LayerTier::Deopt(DeoptReason::SaveCoverage));
+    }
+
+    #[test]
+    fn hull_overlap_detection() {
+        let a = Hull { start: 0, end: 10 };
+        let b = Hull { start: 9, end: 12 };
+        let c = Hull { start: 10, end: 12 };
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert_eq!(a.shifted(5), Hull { start: 5, end: 15 });
+    }
+}

@@ -4,7 +4,7 @@
 use crate::{Instr, IsaError, LayerMeta};
 
 /// The task-relative DDR memory map of a compiled program.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct MemoryMap {
     /// Start of the weight region (usually 0).
     pub weights_base: u64,
@@ -56,7 +56,7 @@ impl MemoryMap {
 /// (paper §IV-C). The virtual instructions belonging to the point occupy
 /// `vir_pcs` in the stream; `resume_pc` is where execution continues after
 /// the point (first pc past the virtual group).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct InterruptPoint {
     /// First pc of the virtual-instruction group (== `resume_pc` when the
     /// group is empty).
@@ -83,7 +83,7 @@ impl InterruptPoint {
 
 /// The pc range `[start, end)` occupied by one CalcBlob, including its
 /// loads and trailing virtual group if any.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct BlobRange {
     /// Blob id.
     pub blob: u32,
@@ -112,8 +112,21 @@ pub struct ProgramStats {
     pub ddr_bytes: u64,
 }
 
+/// Lazily-filled derived tables of a [`Program`].
+///
+/// Programs are immutable once built (the engine shares them behind
+/// `Arc`), so the tables are computed at most once per program and
+/// survive clones. Never compared or serialised.
+#[derive(Debug, Clone, Default)]
+struct ProgramCache {
+    /// Per-layer `(start, end)` pc ranges, indexed by layer id.
+    layer_ranges: std::sync::OnceLock<Vec<(u32, u32)>>,
+    /// Content fingerprint over the whole program.
+    fingerprint: std::sync::OnceLock<u64>,
+}
+
 /// A compiled VI-ISA program for one CNN task.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Program {
     /// Human-readable name (e.g. `resnet101@480x640`).
     pub name: String,
@@ -127,6 +140,19 @@ pub struct Program {
     pub blobs: Vec<BlobRange>,
     /// Task memory map.
     pub memory: MemoryMap,
+    /// Derived lookup tables (not part of the program's identity).
+    cache: ProgramCache,
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.instrs == other.instrs
+            && self.layers == other.layers
+            && self.interrupt_points == other.interrupt_points
+            && self.blobs == other.blobs
+            && self.memory == other.memory
+    }
 }
 
 impl Program {
@@ -160,19 +186,64 @@ impl Program {
     }
 
     /// The pc range `[start, end)` of a layer's instructions.
+    ///
+    /// Ranges for every layer are computed once (eagerly by
+    /// [`ProgramBuilder::build`], lazily otherwise) and answered from a
+    /// table thereafter.
     #[must_use]
     pub fn layer_pc_range(&self, layer: u16) -> std::ops::Range<usize> {
-        let start = self.instrs.iter().position(|i| i.layer == layer);
-        match start {
+        let table = self.cache.layer_ranges.get_or_init(|| self.compute_layer_ranges());
+        match table.get(usize::from(layer)) {
+            Some(&(s, e)) => s as usize..e as usize,
             None => 0..0,
-            Some(s) => {
-                let e = self.instrs[s..]
-                    .iter()
-                    .position(|i| i.layer != layer)
-                    .map_or(self.instrs.len(), |off| s + off);
-                s..e
+        }
+    }
+
+    /// One linear pass over the stream recording each layer's first
+    /// contiguous instruction run (the shape `layer_pc_range` always
+    /// reported).
+    fn compute_layer_ranges(&self) -> Vec<(u32, u32)> {
+        let max_layer = self
+            .instrs
+            .iter()
+            .map(|i| usize::from(i.layer) + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.layers.len());
+        let mut table = vec![(0u32, 0u32); max_layer];
+        let mut seen = vec![false; max_layer];
+        let mut pc = 0usize;
+        while pc < self.instrs.len() {
+            let layer = usize::from(self.instrs[pc].layer);
+            let start = pc;
+            while pc < self.instrs.len() && usize::from(self.instrs[pc].layer) == layer {
+                pc += 1;
+            }
+            if !seen[layer] {
+                seen[layer] = true;
+                table[layer] = (start as u32, pc as u32);
             }
         }
+        table
+    }
+
+    /// A deterministic content fingerprint over the whole program
+    /// (name, instruction stream, layer metadata, interrupt points,
+    /// blob ranges and memory map). Computed once and cached; suitable
+    /// for keying derived-artifact caches such as compiled layer plans.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        *self.cache.fingerprint.get_or_init(|| {
+            use std::hash::{Hash as _, Hasher as _};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.name.hash(&mut h);
+            self.instrs.hash(&mut h);
+            self.layers.hash(&mut h);
+            self.interrupt_points.hash(&mut h);
+            self.blobs.hash(&mut h);
+            self.memory.hash(&mut h);
+            h.finish()
+        })
     }
 
     /// The next interrupt point at or after `pc`, if any.
@@ -459,8 +530,11 @@ impl ProgramBuilder {
             interrupt_points: self.points,
             blobs: self.blobs,
             memory: self.memory,
+            cache: ProgramCache::default(),
         };
         program.validate()?;
+        // Warm the layer-range table so hot paths never pay the scan.
+        let _ = program.cache.layer_ranges.set(program.compute_layer_ranges());
         Ok(program)
     }
 }

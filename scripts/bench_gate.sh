@@ -9,9 +9,12 @@
 # tolerances and `threads` is ignored (see
 # `inca_obs::analyze::baseline::default_rules`).
 #
-#   scripts/bench_gate.sh             # full gate: func + sched + dslam
-#   scripts/bench_gate.sh --quick     # deterministic bins only (sched + dslam):
-#                                     #   skips perf_smoke, whose wall-clock
+#   scripts/bench_gate.sh             # full gate: func + func_tiers + sched
+#                                     #   + serve + dslam, plus the tier-1
+#                                     #   MobileNet speedup floor (>= 5x)
+#   scripts/bench_gate.sh --quick     # deterministic bins only (func_tiers +
+#                                     #   sched + serve + dslam): skips
+#                                     #   perf_smoke, whose wall-clock
 #                                     #   throughput needs a quiet machine
 #   scripts/bench_gate.sh --refresh   # regenerate the committed baselines
 #                                     #   (rerun after an intentional perf or
@@ -29,15 +32,32 @@ trap 'rm -rf "$tmp"' EXIT
 gates() {
     case "$1" in
         quick) printf '%s\n' \
+            "func_tiers BENCH_func_tiers.json fig_func_tiers" \
             "sched BENCH_sched.json fig_sched_load" \
             "serve BENCH_serve.json fig_serve_load" \
             "dslam BENCH_dslam.json fig_dslam_mission" ;;
         *) printf '%s\n' \
             "func BENCH_func.json perf_smoke" \
+            "func_tiers BENCH_func_tiers.json fig_func_tiers" \
             "sched BENCH_sched.json fig_sched_load" \
             "serve BENCH_serve.json fig_serve_load" \
             "dslam BENCH_dslam.json fig_dslam_mission" ;;
     esac
+}
+
+# The tiered-execution acceptance floor: Tier-1 must hold >= 5x over
+# Tier-0 stepping on end-to-end MobileNet (DESIGN.md §5.6). Checked
+# against the freshly measured snapshot, not the baseline, so a quiet
+# machine regression is caught even if the 35% gauge tolerance isn't.
+check_tier_floor() { # perf_smoke.json -> exit 1 if below floor
+    python3 - "$1" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+s = snap["gauges"]["mobilenet_v1_96x96.tier1_speedup"]
+if s < 5.0:
+    sys.exit(f"bench gate: tier-1 MobileNet speedup {s:.2f}x is below the 5x floor")
+print(f"bench gate: tier-1 MobileNet speedup {s:.2f}x (floor 5x) ok")
+EOF
 }
 
 echo "== bench gate: building release bins"
@@ -92,7 +112,39 @@ EOF
             echo "bench gate selftest: FAILED — serve p99 slowdown was not flagged" >&2
             exit 1
         fi
-        echo "bench gate selftest: ok (identity passes, injected slowdowns trip)"
+        # Fixture 3: the perf_smoke snapshot with the tier-1 MobileNet
+        # speedup dropped to 4x — below the 5x acceptance floor. The
+        # explicit floor check must trip even though 4x might squeak
+        # through the 35% relative gauge tolerance.
+        python3 - "$tmp/perf_smoke.json" "$tmp/tier_slow.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+snap["gauges"]["mobilenet_v1_96x96.tier1_speedup"] = 4.0
+json.dump(snap, open(sys.argv[2], "w"), separators=(",", ":"))
+EOF
+        check_tier_floor "$tmp/perf_smoke.json"
+        if check_tier_floor "$tmp/tier_slow.json"; then
+            echo "bench gate selftest: FAILED — sub-5x tier-1 speedup was not flagged" >&2
+            exit 1
+        fi
+        # Fixture 4: a fresh fig_func_tiers snapshot with one output
+        # digest corrupted and its divergence counter raised — an
+        # injected tier-equivalence break. Counters compare exactly, so
+        # the gate must trip.
+        run_bin fig_func_tiers
+        python3 - "$tmp/fig_func_tiers.json" "$tmp/tiers_broken.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+snap["counters"]["virtual-instruction.digest"] ^= 1
+snap["counters"]["virtual-instruction.divergence"] = 1
+json.dump(snap, open(sys.argv[2], "w"), separators=(",", ":"))
+EOF
+        ./target/release/inca-analyze --gate "$tmp/fig_func_tiers.json" "$tmp/fig_func_tiers.json"
+        if ./target/release/inca-analyze --gate "$tmp/fig_func_tiers.json" "$tmp/tiers_broken.json"; then
+            echo "bench gate selftest: FAILED — tier divergence was not flagged" >&2
+            exit 1
+        fi
+        echo "bench gate selftest: ok (identity passes, injected regressions trip)"
         ;;
     full|--quick)
         [ "$mode" = "--quick" ] && sel=quick || sel=full
@@ -104,6 +156,9 @@ EOF
             fi
             run_bin "$bin"
             ./target/release/inca-analyze --gate "$baseline" "$tmp/$bin.json" || fail=1
+            if [ "$name" = "func" ]; then
+                check_tier_floor "$tmp/$bin.json" || fail=1
+            fi
         done < <(gates "$sel")
         if [ "$fail" -ne 0 ]; then
             echo "bench gate: REGRESSION — see findings above." >&2
