@@ -25,7 +25,10 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use inca_isa::{Instr, Opcode, Program, TaskSlot, TASK_SLOTS};
-use inca_obs::{ascii, Metrics, TraceEvent, Tracer};
+use inca_obs::{
+    ascii, request_span_id, span_id, HostComponent, HostProf, Metrics, SpanStage, TraceEvent,
+    Tracer, NO_CORE,
+};
 
 use crate::{instr_cycles, AccelConfig, Backend, SimError};
 
@@ -316,10 +319,23 @@ struct ActiveJob {
     /// Compute cycles accumulated since the last transfer, available to
     /// hide DMA under when `AccelConfig::dma_overlap` is set.
     dma_credit: u64,
+    /// Request tag for causal-span emission (`RequestId::raw`); untagged
+    /// jobs emit no spans (DESIGN.md §5.7).
+    tag: Option<u64>,
+    /// Open Exec segment: `(start cycle, span id)`.
+    exec_open: Option<(u64, u64)>,
+    /// Open Layer span: `(layer id, start cycle)`.
+    layer_open: Option<(u16, u64)>,
+    /// Pause cycle of the pending Preempted span (closed at resume).
+    preempt_pause: Option<u64>,
+    /// Per-stage span sequence counters (deterministic span ids).
+    exec_seq: u32,
+    preempt_seq: u32,
+    layer_seq: u32,
 }
 
 impl ActiveJob {
-    fn with_offsets(release: u64, input_offset: u64, output_offset: u64) -> Self {
+    fn with_offsets(release: u64, input_offset: u64, output_offset: u64, tag: Option<u64>) -> Self {
         Self {
             release,
             start: None,
@@ -335,6 +351,13 @@ impl ActiveJob {
             extra_cost_cycles: 0,
             last_interrupt: None,
             dma_credit: 0,
+            tag,
+            exec_open: None,
+            layer_open: None,
+            preempt_pause: None,
+            exec_seq: 0,
+            preempt_seq: 0,
+            layer_seq: 0,
         }
     }
 }
@@ -353,8 +376,8 @@ struct ObsCounters {
 struct Slot {
     program: Option<Arc<Program>>,
     job: Option<ActiveJob>,
-    /// Queued jobs: (release, input offset, output offset).
-    backlog: VecDeque<(u64, u64, u64)>,
+    /// Queued jobs: (release, input offset, output offset, span tag).
+    backlog: VecDeque<(u64, u64, u64, Option<u64>)>,
     auto_resubmit: bool,
 }
 
@@ -387,7 +410,7 @@ pub struct Engine<B: Backend> {
     slots: [Slot; TASK_SLOTS],
     now: u64,
     arrivals: BinaryHeap<Reverse<(u64, u64, u8)>>,
-    arrival_offsets: HashMap<u64, (u64, u64)>,
+    arrival_offsets: HashMap<u64, (u64, u64, Option<u64>)>,
     seq: u64,
     running: Option<TaskSlot>,
     events: Vec<Event>,
@@ -396,6 +419,11 @@ pub struct Engine<B: Backend> {
     profile: Option<Profile>,
     tracer: Tracer,
     counters: ObsCounters,
+    /// Core id stamped on emitted spans ([`NO_CORE`] outside a pool).
+    span_core: u32,
+    /// Runtime-gated host self-profiling (wall clock; never feeds
+    /// deterministic outputs).
+    host_prof: Option<HostProf>,
 }
 
 impl<B: Backend> Engine<B> {
@@ -418,7 +446,48 @@ impl<B: Backend> Engine<B> {
             profile: None,
             tracer: Tracer::disabled(),
             counters: ObsCounters::default(),
+            span_core: NO_CORE,
+            host_prof: None,
         }
+    }
+
+    /// Sets the core id stamped on spans this engine emits (a pool sets
+    /// each core's engine once at construction).
+    pub fn set_span_core(&mut self, core: u32) {
+        self.span_core = core;
+    }
+
+    /// Installs (or removes) the host self-profiler. Profiling costs one
+    /// `Instant::now` pair per engine advance when installed and one
+    /// discriminant check when not; it never changes deterministic
+    /// outputs.
+    pub fn set_host_prof(&mut self, prof: Option<HostProf>) {
+        self.host_prof = prof;
+    }
+
+    /// Emits one causal span through the tracer (no-op when disabled).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_span(
+        &self,
+        tag: u64,
+        stage: SpanStage,
+        seq: u32,
+        parent: u64,
+        start: u64,
+        end: u64,
+        detail: u64,
+    ) {
+        let core = self.span_core;
+        self.tracer.emit(|| TraceEvent::Span {
+            id: span_id(tag, stage, seq),
+            parent,
+            request: tag,
+            stage,
+            start,
+            end,
+            core,
+            detail,
+        });
     }
 
     /// Installs the tracer the engine emits [`TraceEvent`]s through. The
@@ -583,11 +652,30 @@ impl<B: Backend> Engine<B> {
         input_offset: u64,
         output_offset: u64,
     ) -> Result<(), SimError> {
+        self.request_job_tagged(cycle, slot, input_offset, output_offset, None)
+    }
+
+    /// Like [`Engine::request_job`], additionally carrying a request tag:
+    /// the job emits causal [`TraceEvent::Span`]s (Exec / Preempted /
+    /// Layer) attributed to that request. Untagged jobs emit none, so
+    /// legacy traces stay byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptySlot`] when no program is loaded.
+    pub fn request_job_tagged(
+        &mut self,
+        cycle: u64,
+        slot: TaskSlot,
+        input_offset: u64,
+        output_offset: u64,
+        tag: Option<u64>,
+    ) -> Result<(), SimError> {
         if self.slots[slot.index()].program.is_none() {
             return Err(SimError::EmptySlot(slot));
         }
         self.arrivals.push(Reverse((cycle, self.seq, slot.index() as u8)));
-        self.arrival_offsets.insert(self.seq, (input_offset, output_offset));
+        self.arrival_offsets.insert(self.seq, (input_offset, output_offset, tag));
         self.seq += 1;
         Ok(())
     }
@@ -598,13 +686,13 @@ impl<B: Backend> Engine<B> {
                 break;
             }
             self.arrivals.pop();
-            let (in_off, out_off) = self.arrival_offsets.remove(&seq).unwrap_or((0, 0));
+            let (in_off, out_off, tag) = self.arrival_offsets.remove(&seq).unwrap_or((0, 0, None));
             let slot = TaskSlot::new(s).expect("slot validated at request");
             let st = &mut self.slots[usize::from(s)];
             if st.job.is_none() {
-                st.job = Some(ActiveJob::with_offsets(t, in_off, out_off));
+                st.job = Some(ActiveJob::with_offsets(t, in_off, out_off, tag));
             } else {
-                st.backlog.push_back((t, in_off, out_off));
+                st.backlog.push_back((t, in_off, out_off, tag));
             }
             self.events.push(Event::Submitted { cycle: t, slot });
             self.tracer.emit(|| TraceEvent::JobReleased { cycle: t, slot });
@@ -695,10 +783,35 @@ impl<B: Backend> Engine<B> {
         if let Some(p) = self.profile.as_mut() {
             p.charge(slot, &instr, cycles);
         }
-        let job = self.slots[slot.index()].job.as_mut().expect("job");
-        job.busy_cycles += cycles;
-        job.pc += 1;
-        Ok(job.pc >= program.instrs.len())
+        let mut layer_span = None;
+        let done = {
+            let job = self.slots[slot.index()].job.as_mut().expect("job");
+            job.busy_cycles += cycles;
+            job.pc += 1;
+            if let Some(tag) = job.tag {
+                if job.layer_open.is_none() {
+                    job.layer_open = Some((instr.layer, start));
+                }
+                // The Layer span closes at the layer's last retiring
+                // instruction (peeking past free virtual groups), so the
+                // emission position matches a Tier-1 committed batch.
+                let mut next = job.pc;
+                while next < program.instrs.len() && program.instrs[next].op.is_virtual() {
+                    next += 1;
+                }
+                if next >= program.instrs.len() || program.instrs[next].layer != instr.layer {
+                    let (layer, ls) = job.layer_open.take().expect("layer opened above");
+                    let parent = job.exec_open.map_or(request_span_id(tag), |(_, id)| id);
+                    layer_span = Some((tag, job.layer_seq, parent, ls, u64::from(layer)));
+                    job.layer_seq += 1;
+                }
+            }
+            job.pc >= program.instrs.len()
+        };
+        if let Some((tag, seq, parent, ls, layer)) = layer_span {
+            self.emit_span(tag, SpanStage::Layer, seq, parent, ls, self.now, layer);
+        }
+        Ok(done)
     }
 
     /// Attempts to retire the whole layer at the victim's pc as one fused
@@ -785,14 +898,32 @@ impl<B: Backend> Engine<B> {
                 p.charge(slot, instr, cycles);
             }
         }
+        let batch_start = self.now;
         self.now = sim_now;
-        let job = self.slots[slot.index()].job.as_mut().expect("job");
-        job.busy_cycles += total;
-        job.dma_credit = sim_credit;
-        // Trailing virtual groups are skipped for free by the next step,
-        // exactly as stepping would after its last original instruction.
-        job.pc = last_original + 1;
-        Ok(Some(job.pc >= program.instrs.len()))
+        let mut layer_span = None;
+        let done = {
+            let job = self.slots[slot.index()].job.as_mut().expect("job");
+            job.busy_cycles += total;
+            job.dma_credit = sim_credit;
+            // Trailing virtual groups are skipped for free by the next step,
+            // exactly as stepping would after its last original instruction.
+            job.pc = last_original + 1;
+            if let Some(tag) = job.tag {
+                // Same stream position as stepping: the Layer span follows
+                // the layer's last InstrRetired (batching never starts
+                // mid-layer, so no span is open here).
+                debug_assert!(job.layer_open.is_none());
+                let parent = job.exec_open.map_or(request_span_id(tag), |(_, id)| id);
+                let layer = u64::from(program.instrs[pc0].layer);
+                layer_span = Some((tag, job.layer_seq, parent, layer));
+                job.layer_seq += 1;
+            }
+            job.pc >= program.instrs.len()
+        };
+        if let Some((tag, seq, parent, layer)) = layer_span {
+            self.emit_span(tag, SpanStage::Layer, seq, parent, batch_start, sim_now, layer);
+        }
+        Ok(Some(done))
     }
 
     fn complete_job(&mut self, slot: TaskSlot) {
@@ -808,15 +939,48 @@ impl<B: Backend> Engine<B> {
             preemptions: job.preemptions,
         });
         self.events.push(Event::Completed { cycle: self.now, slot });
+        if let Some(tag) = job.tag {
+            // Close the job's open spans at the completion cycle (a
+            // VI point that closes the program can leave a layer open).
+            if let Some((layer, ls)) = job.layer_open {
+                let parent = job.exec_open.map_or(request_span_id(tag), |(_, id)| id);
+                self.emit_span(
+                    tag,
+                    SpanStage::Layer,
+                    job.layer_seq,
+                    parent,
+                    ls,
+                    self.now,
+                    u64::from(layer),
+                );
+            }
+            if let Some((es, id)) = job.exec_open {
+                let core = self.span_core;
+                let (start, end, request) = (es, self.now, tag);
+                self.tracer.emit(|| TraceEvent::Span {
+                    id,
+                    parent: request_span_id(request),
+                    request,
+                    stage: SpanStage::Exec,
+                    start,
+                    end,
+                    core,
+                    detail: slot.index() as u64,
+                });
+            }
+        }
         {
             let (cycle, busy_cycles, preemptions) = (self.now, job.busy_cycles, job.preemptions);
             self.tracer.emit(|| TraceEvent::JobFinished { cycle, slot, busy_cycles, preemptions });
         }
-        if let Some((next, in_off, out_off)) = s.backlog.pop_front() {
-            s.job = Some(ActiveJob::with_offsets(next, in_off, out_off));
+        let s = &mut self.slots[slot.index()];
+        if let Some((next, in_off, out_off, tag)) = s.backlog.pop_front() {
+            s.job = Some(ActiveJob::with_offsets(next, in_off, out_off, tag));
         } else if s.auto_resubmit {
-            // Auto-resubmission reuses the completed job's offsets.
-            s.job = Some(ActiveJob::with_offsets(self.now, job.input_offset, job.output_offset));
+            // Auto-resubmission reuses the completed job's offsets (the
+            // new job is a fresh, untagged release).
+            s.job =
+                Some(ActiveJob::with_offsets(self.now, job.input_offset, job.output_offset, None));
             self.events.push(Event::Submitted { cycle: self.now, slot });
             let cycle = self.now;
             self.tracer.emit(|| TraceEvent::JobReleased { cycle, slot });
@@ -884,6 +1048,34 @@ impl<B: Backend> Engine<B> {
             }
             self.events.push(Event::Resumed { cycle: self.now, slot });
             self.tracer.emit(|| TraceEvent::Resumed { slot, restore_start, t4 });
+        }
+        // Close the request's pending Preempted span and open its next
+        // Exec segment at the cycle execution actually (re)starts.
+        let mut preempted_span = None;
+        {
+            let job = self.slots[slot.index()].job.as_mut().expect("dispatching job exists");
+            if let Some(tag) = job.tag {
+                if let Some(pause) = job.preempt_pause.take() {
+                    preempted_span = Some((tag, job.preempt_seq, pause));
+                    job.preempt_seq += 1;
+                }
+                if job.exec_open.is_none() {
+                    let id = span_id(tag, SpanStage::Exec, job.exec_seq);
+                    job.exec_seq += 1;
+                    job.exec_open = Some((self.now, id));
+                }
+            }
+        }
+        if let Some((tag, seq, pause)) = preempted_span {
+            self.emit_span(
+                tag,
+                SpanStage::Preempted,
+                seq,
+                request_span_id(tag),
+                pause,
+                self.now,
+                0,
+            );
         }
         self.running = Some(slot);
         Ok(())
@@ -1071,11 +1263,43 @@ impl<B: Backend> Engine<B> {
         if let Some(p) = self.profile.as_mut() {
             p.interrupt_overhead += t2;
         }
+        // The victim stops executing where t1 ended; backup (t2) counts as
+        // preempted-out time, so the Exec segment closes at `now − t2`.
+        let pause = self.now.saturating_sub(t2);
+        let mut layer_span = None;
+        let mut exec_span = None;
         let job = self.slots[victim.index()].job.as_mut().expect("job");
         job.preempted = true;
         job.preemptions += 1;
         job.extra_cost_cycles += t2;
         job.last_interrupt = Some(self.interrupts.len());
+        if let Some(tag) = job.tag {
+            if let Some((layer, ls)) = job.layer_open.take() {
+                let parent = job.exec_open.map_or(request_span_id(tag), |(_, id)| id);
+                layer_span = Some((tag, job.layer_seq, parent, ls, u64::from(layer)));
+                job.layer_seq += 1;
+            }
+            if let Some((es, id)) = job.exec_open.take() {
+                exec_span = Some((tag, id, es));
+            }
+            job.preempt_pause = Some(pause);
+        }
+        if let Some((tag, seq, parent, ls, layer)) = layer_span {
+            self.emit_span(tag, SpanStage::Layer, seq, parent, ls, pause, layer);
+        }
+        if let Some((tag, id, es)) = exec_span {
+            let core = self.span_core;
+            self.tracer.emit(|| TraceEvent::Span {
+                id,
+                parent: request_span_id(tag),
+                request: tag,
+                stage: SpanStage::Exec,
+                start: es,
+                end: pause,
+                core,
+                detail: victim.index() as u64,
+            });
+        }
         self.interrupts.push(InterruptEvent {
             request_cycle,
             victim,
@@ -1144,10 +1368,24 @@ impl<B: Backend> Engine<B> {
                     self.preempt(r, s)?;
                 }
                 (Some(r), _) => {
-                    let done = match self.try_exec_layer(r, deadline)? {
+                    // Host self-profiling is wall-clock only: it never
+                    // touches the virtual clock or any trace output.
+                    let prof = self.host_prof.clone();
+                    let t0 = prof.as_ref().map(|_| std::time::Instant::now());
+                    let cyc0 = self.now;
+                    let batched = self.try_exec_layer(r, deadline)?;
+                    let done = match batched {
                         Some(done) => done,
                         None => self.exec_step(r)?,
                     };
+                    if let (Some(p), Some(t0)) = (prof.as_ref(), t0) {
+                        let comp = if batched.is_some() {
+                            HostComponent::Tier1Batch
+                        } else {
+                            HostComponent::EngineStep
+                        };
+                        p.add(comp, t0.elapsed().as_nanos() as u64, self.now - cyc0);
+                    }
                     if done {
                         self.complete_job(r);
                     }

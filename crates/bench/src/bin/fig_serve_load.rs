@@ -20,7 +20,12 @@
 //!
 //! Pass `--json` to emit a single machine-readable metrics-snapshot line
 //! (`inca-obs/metrics-v1`) instead of the tables; `--rounds N` for a
-//! longer part-A window (default 8 hard periods per cell).
+//! longer part-A window (default 8 hard periods per cell);
+//! `--trace-sample N` to record request-scoped causal spans for every
+//! request whose id is divisible by N (deterministic sampling — the same
+//! requests are tagged on every run) and report how many span events each
+//! part emitted. Ring overflow is loud: dropped events produce a stderr
+//! warning and a `trace.dropped` counter in the JSON snapshot.
 
 use std::sync::Arc;
 
@@ -28,7 +33,7 @@ use inca_accel::{AccelConfig, CorePool, Engine, InterruptStrategy, TimingBackend
 use inca_compiler::Compiler;
 use inca_isa::{Program, TaskSlot};
 use inca_model::{zoo, Network, Shape3};
-use inca_obs::{Metrics, MetricsSnapshot};
+use inca_obs::{Metrics, MetricsSnapshot, TraceBuffer, TraceEvent, Tracer};
 use inca_serve::{DropPolicy, Gateway, PlacePolicy, SchedPolicy, TenantId, TenantSpec};
 
 /// Exponential quantiles at the midpoints of 16 equiprobable bins, in
@@ -76,6 +81,26 @@ fn makespan(program: &Program) -> u64 {
     e.run().unwrap().completed_jobs[0].finish
 }
 
+/// Installs a span-recording ring on `gw` when `trace_sample > 0`.
+fn attach_tracer(gw: &mut Gateway<TimingBackend>, trace_sample: u64) -> Option<TraceBuffer> {
+    (trace_sample > 0).then(|| {
+        let (tracer, buf) = Tracer::ring(1 << 16);
+        gw.set_tracer(tracer);
+        gw.set_trace_sample(trace_sample);
+        buf
+    })
+}
+
+/// `(span_events, dropped)` recorded by an optional ring.
+fn span_counts(buf: Option<TraceBuffer>) -> (u64, u64) {
+    buf.map_or((0, 0), |b| {
+        let dropped = b.dropped();
+        let spans =
+            b.drain().iter().filter(|e| matches!(e, TraceEvent::Span { .. })).count() as u64;
+        (spans, dropped)
+    })
+}
+
 /// p99 over `values` (nearest-rank, integer arithmetic).
 fn p99(values: &mut [u64]) -> u64 {
     assert!(!values.is_empty());
@@ -92,11 +117,18 @@ struct IsoCell {
     hard_missed: u64,
     be_completed: u64,
     be_shed: u64,
+    span_events: u64,
+    trace_dropped: u64,
 }
 
 /// One part-A cell: a hard tenant probed `rounds` times on one core while
 /// `be_per_round` best-effort requests per round contend for it.
-fn run_iso_cell(strategy: InterruptStrategy, be_per_round: usize, rounds: u64) -> IsoCell {
+fn run_iso_cell(
+    strategy: InterruptStrategy,
+    be_per_round: usize,
+    rounds: u64,
+    trace_sample: u64,
+) -> IsoCell {
     let hard_prog = compile(strategy, &zoo::tiny(Shape3::new(3, 48, 48)).unwrap());
     let be_prog = compile(strategy, &zoo::tiny(Shape3::new(3, 96, 96)).unwrap());
     let be_span = makespan(&be_prog);
@@ -104,6 +136,7 @@ fn run_iso_cell(strategy: InterruptStrategy, be_per_round: usize, rounds: u64) -
     let pool = CorePool::new(1, cfg(), strategy, TimingBackend::new);
     let mut gw = Gateway::new(pool, SchedPolicy::FixedPriority, PlacePolicy::LeastLoaded);
     gw.set_batch_window(1_000);
+    let buf = attach_tracer(&mut gw, trace_sample);
     let hard = gw.register(
         TenantSpec::new("estop", Arc::clone(&hard_prog))
             .hard(1_000_000_000)
@@ -140,6 +173,7 @@ fn run_iso_cell(strategy: InterruptStrategy, be_per_round: usize, rounds: u64) -
         .map(inca_serve::Response::latency)
         .collect();
     let be_stats = gw.stats(be);
+    let (span_events, trace_dropped) = span_counts(buf);
     IsoCell {
         strategy,
         be_per_round,
@@ -147,6 +181,8 @@ fn run_iso_cell(strategy: InterruptStrategy, be_per_round: usize, rounds: u64) -
         hard_missed: gw.stats(hard).deadline_missed,
         be_completed: be_stats.completed,
         be_shed: be_stats.shed + be_stats.dropped,
+        span_events,
+        trace_dropped,
     }
 }
 
@@ -161,11 +197,13 @@ struct ScaleCell {
     reloads: u64,
     makespan: u64,
     throughput_jobs_per_s: f64,
+    span_events: u64,
+    trace_dropped: u64,
 }
 
 /// One part-B cell: the same deterministic arrival stream served on
 /// `cores` cores under `place`.
-fn run_scale_cell(cores: usize, place: PlacePolicy) -> ScaleCell {
+fn run_scale_cell(cores: usize, place: PlacePolicy, trace_sample: u64) -> ScaleCell {
     let strategy = InterruptStrategy::VirtualInstruction;
     let small = compile(strategy, &zoo::tiny(Shape3::new(3, 24, 24)).unwrap());
     let large = compile(strategy, &zoo::tiny(Shape3::new(3, 48, 48)).unwrap());
@@ -174,6 +212,7 @@ fn run_scale_cell(cores: usize, place: PlacePolicy) -> ScaleCell {
     let pool = CorePool::new(cores, cfg(), strategy, TimingBackend::new);
     let mut gw = Gateway::new(pool, SchedPolicy::FixedPriority, place);
     gw.set_batch_window(mean_gap);
+    let buf = attach_tracer(&mut gw, trace_sample);
     let tenants: Vec<TenantId> = (0..6)
         .map(|i| {
             let program = if i % 2 == 0 { Arc::clone(&small) } else { Arc::clone(&large) };
@@ -210,6 +249,7 @@ fn run_scale_cell(cores: usize, place: PlacePolicy) -> ScaleCell {
     // Makespan = last completion, not the (cell-independent) final clock.
     let makespan = gw.drain_responses().iter().map(|r| r.finish).max().unwrap_or(0);
     let seconds = cfg().cycles_to_us(makespan.max(1)) / 1e6;
+    let (span_events, trace_dropped) = span_counts(buf);
     ScaleCell {
         cores,
         place,
@@ -219,6 +259,8 @@ fn run_scale_cell(cores: usize, place: PlacePolicy) -> ScaleCell {
         reloads,
         makespan,
         throughput_jobs_per_s: totals.completed as f64 / seconds,
+        span_events,
+        trace_dropped,
     }
 }
 
@@ -233,6 +275,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(8);
+    let trace_sample = args
+        .iter()
+        .position(|a| a == "--trace-sample")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
 
     let strategies = [
         InterruptStrategy::VirtualInstruction,
@@ -243,7 +291,7 @@ fn main() {
     let iso: Vec<IsoCell> = strategies
         .iter()
         .flat_map(|&s| loads.iter().map(move |&l| (s, l)))
-        .map(|(s, l)| run_iso_cell(s, l, rounds))
+        .map(|(s, l)| run_iso_cell(s, l, rounds, trace_sample))
         .collect();
 
     let core_counts = [1usize, 2, 4, 8];
@@ -251,8 +299,12 @@ fn main() {
     let scale: Vec<ScaleCell> = core_counts
         .iter()
         .flat_map(|&c| policies.iter().map(move |&p| (c, p)))
-        .map(|(c, p)| run_scale_cell(c, p))
+        .map(|(c, p)| run_scale_cell(c, p, trace_sample))
         .collect();
+    let span_events: u64 =
+        iso.iter().map(|c| c.span_events).chain(scale.iter().map(|c| c.span_events)).sum();
+    let trace_dropped: u64 =
+        iso.iter().map(|c| c.trace_dropped).chain(scale.iter().map(|c| c.trace_dropped)).sum();
 
     if json {
         let mut m = Metrics::new();
@@ -272,7 +324,14 @@ fn main() {
             m.inc(&format!("{k}makespan"), c.makespan);
             m.set_gauge(&format!("{k}throughput_jobs_per_s"), c.throughput_jobs_per_s);
         }
-        println!("{}", MetricsSnapshot::new("fig_serve_load", m).to_json());
+        if trace_sample > 0 {
+            m.inc("trace.span_events", span_events);
+        }
+        let mut snap = MetricsSnapshot::new("fig_serve_load", m);
+        if trace_sample > 0 {
+            snap = snap.with_trace_drops(trace_dropped);
+        }
+        println!("{}", snap.to_json());
         return;
     }
 
@@ -315,6 +374,18 @@ fn main() {
             c.reloads,
             c.makespan,
             c.throughput_jobs_per_s,
+        );
+    }
+    if trace_sample > 0 {
+        if trace_dropped > 0 {
+            eprintln!(
+                "WARNING: trace ring overflowed — {trace_dropped} span event(s) dropped; \
+                 recorded spans cover an INCOMPLETE trace"
+            );
+        }
+        println!(
+            "\nspans: {span_events} span events recorded across all cells \
+             (1/{trace_sample} requests sampled, {trace_dropped} dropped)"
         );
     }
     println!(

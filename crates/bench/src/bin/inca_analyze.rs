@@ -19,8 +19,20 @@
 //!   `metrics-v1` snapshots under the default tolerance rules
 //!   (deterministic cycle metrics exact, wall-clock throughput ±45%).
 //!   Exits 1 on regression. `scripts/bench_gate.sh` wraps this.
+//! * **spans**: `inca-analyze --spans [--strategy S] [--trace-sample N]
+//!   [--quantile Q] [--trace FILE] [--slo SPEC]... [--json]` — runs the
+//!   canonical serve-spans scenario in-process with request spans on,
+//!   prints each lane's per-request critical path (exact latency
+//!   decomposition: queue/batch/reload/exec/preempted cycles summing to
+//!   the end-to-end latency), optionally writes the Perfetto-loadable
+//!   Chrome trace (`--trace`, span tracks + flow arrows), and with
+//!   `--json` emits an `inca-obs/spans-v1` snapshot the regression gate
+//!   can diff against `BENCH_spans.json`. SLO specs may use the lane
+//!   selectors (`hard=queue_share:<0.2`). A trace file containing span
+//!   events gets the same treatment in file mode.
 
 use inca_accel::{analysis, InterruptStrategy};
+use inca_bench::serve_spans_scenario;
 use inca_dslam::mission::{Mission, MissionConfig};
 use inca_obs::analyze::{self, Analyzer, SloSpec, T2Model, TaskSel};
 use inca_obs::{Metrics, MetricsSnapshot};
@@ -30,14 +42,17 @@ const USAGE: &str = "usage:
   inca-analyze <trace.json> [--slo SPEC]... [--json]
   inca-analyze --mission [--seconds N] [--strategy S|all] [--trace FILE] [--slo SPEC]... [--json]
   inca-analyze --gate <baseline.json> <fresh.json>
+  inca-analyze --spans [--strategy S] [--trace-sample N] [--quantile Q] [--trace FILE] [--slo SPEC]... [--json]
 SLO spec: name=50ms or name=deadline:50ms+latency:200us+queue:1ms+jobs:N+miss:0.01+period:50ms
-          (names: fe, pr, slotN, taskN; units cy/us/ms/s)";
+          (names: fe, pr, slotN, taskN, hard, be; units cy/us/ms/s;
+           span clauses: queue_share:<0.2 batch_share:… reload_share:… preempt_share:…)";
 
 /// `fe`/`pr` resolve to the mission's fixed slots.
 const ALIASES: [(&str, TaskSel); 2] = [("fe", TaskSel::Slot(1)), ("pr", TaskSel::Slot(3))];
 
 struct Args {
     mission: bool,
+    spans: bool,
     gate: Option<(String, String)>,
     trace_out: Option<String>,
     file: Option<String>,
@@ -45,11 +60,14 @@ struct Args {
     json: bool,
     seconds: f64,
     strategy: Option<String>,
+    trace_sample: u64,
+    quantile: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
         mission: false,
+        spans: false,
         gate: None,
         trace_out: None,
         file: None,
@@ -57,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         seconds: 3.0,
         strategy: None,
+        trace_sample: 1,
+        quantile: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -81,6 +101,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--strategy" => out.strategy = Some(value(&mut i, "--strategy")?),
             "--trace" => out.trace_out = Some(value(&mut i, "--trace")?),
+            "--spans" => out.spans = true,
+            "--trace-sample" => {
+                out.trace_sample = value(&mut i, "--trace-sample")?
+                    .parse()
+                    .map_err(|_| "--trace-sample needs an integer".to_owned())?;
+            }
+            "--quantile" => {
+                let q: f64 = value(&mut i, "--quantile")?
+                    .parse()
+                    .map_err(|_| "--quantile needs a number in 0..=1".to_owned())?;
+                if !(0.0..=1.0).contains(&q) {
+                    return Err("--quantile needs a number in 0..=1".to_owned());
+                }
+                out.quantile = Some(q);
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             f if f.starts_with("--") => return Err(format!("unknown flag {f}\n{USAGE}")),
             file => {
@@ -122,8 +157,9 @@ fn parse_slos(specs: &[String], clock_hz: u64) -> Result<Vec<SloSpec>, String> {
 /// returns whether all passed.
 fn run_slos(specs: &[SloSpec], analyzer: &Analyzer, label: &str) -> bool {
     let mut all_ok = true;
+    let spans = (!analyzer.spans.is_empty()).then_some(&analyzer.spans);
     for spec in specs {
-        let report = spec.evaluate(&analyzer.attribution, &analyzer.preemption);
+        let report = spec.evaluate_with_spans(&analyzer.attribution, &analyzer.preemption, spans);
         println!("SLO {label}/{}: {}", report.name, if report.passed { "PASS" } else { "FAIL" });
         for c in &report.clauses {
             println!("    [{}] {} — {}", if c.passed { "ok" } else { "FAIL" }, c.label, c.detail);
@@ -258,6 +294,65 @@ fn mission_mode(args: &Args) -> Result<ExitCode, String> {
     })
 }
 
+/// One request breakdown, printed as a single line.
+fn print_breakdown(label: &str, b: &inca_obs::analyze::RequestBreakdown, clock_hz: u64) {
+    let us = |cy: u64| cy as f64 / (clock_hz as f64 / 1e6);
+    let parts: Vec<String> =
+        b.parts().iter().map(|(name, cy)| format!("{name} {cy}cy ({:.1}us)", us(*cy))).collect();
+    println!(
+        "{label}: request {} (tenant {}, core {}) total {}cy ({:.1}us) = {}",
+        b.request,
+        b.tenant,
+        b.core,
+        b.total(),
+        us(b.total()),
+        parts.join(" + "),
+    );
+}
+
+fn spans_mode(args: &Args) -> Result<ExitCode, String> {
+    let strategy = match parse_strategy(args.strategy.as_deref().unwrap_or("virtual-instruction"))?
+        .as_slice()
+    {
+        [one] => *one,
+        _ => return Err("--spans takes a single strategy, not `all`".to_owned()),
+    };
+    let out = serve_spans_scenario(strategy, args.trace_sample, None);
+    let mut a = Analyzer::new();
+    a.consume(&out.events);
+    a.clock_hz = Some(out.clock_hz);
+    if let Some(path) = &args.trace_out {
+        let mut chrome = inca_obs::ChromeTrace::new(out.clock_hz as f64 / 1e6);
+        chrome.add_process(0, "serve-core0", &out.events);
+        chrome.note_dropped(0, out.dropped);
+        std::fs::write(path, chrome.finish()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (load in Perfetto; arrows = span flows)");
+    }
+    if args.json {
+        let snap = MetricsSnapshot::new("inca-analyze-spans", a.spans.metrics())
+            .with_schema(inca_obs::SPANS_SCHEMA)
+            .with_trace_drops(out.dropped);
+        println!("{}", snap.to_json());
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!(
+        "== canonical serve-spans scenario ({strategy}, sample 1/{}, {} responses) ==",
+        args.trace_sample.max(1),
+        out.responses,
+    );
+    print!("{}", a.spans.render(out.clock_hz));
+    if let Some(q) = args.quantile {
+        for (lane, hard) in [("hard", true), ("be", false)] {
+            if let Some(b) = a.spans.quantile(hard, q) {
+                print_breakdown(&format!("{lane} p{:.4}", q * 100.0), &b, out.clock_hz);
+            }
+        }
+    }
+    let specs = parse_slos(&args.slo, out.clock_hz)?;
+    let slo_ok = run_slos(&specs, &a, "spans");
+    Ok(if slo_ok { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -268,6 +363,8 @@ fn main() -> ExitCode {
     };
     let result = if let Some((base, fresh)) = &args.gate {
         gate_mode(base, fresh)
+    } else if args.spans {
+        spans_mode(&args)
     } else if args.mission {
         mission_mode(&args)
     } else {

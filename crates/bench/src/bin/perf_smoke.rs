@@ -14,19 +14,27 @@
 //!   trace-compiled layer programs) and reports
 //!   `{name}.tier0_macs_per_s` / `{name}.tier1_macs_per_s` /
 //!   `{name}.tier1_speedup` side by side.
+//! * **Host-profiling suite** — enables [`HostProf`] over the canonical
+//!   serve-spans scenario (gateway/scheduler/Tier-0 stepping) and a
+//!   direct Tier-1 functional-backend run, then reports wall seconds and
+//!   cycles-per-host-second per component as `hostprof.*` gauges (which
+//!   the regression gate ignores — wall clock is host-dependent) and a
+//!   human table on stderr.
 //!
 //! Run with `cargo run --release -p inca-bench --bin perf_smoke`; numbers
 //! are tracked in EXPERIMENTS.md ("Functional backend fast path") and
 //! gated against `BENCH_func.json` by `scripts/bench_gate.sh`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use inca_accel::{
-    AccelConfig, Backend, CalcKernel, DdrImage, ExecTier, FuncBackend, Program, TaskSlot,
+    AccelConfig, Backend, CalcKernel, DdrImage, Engine, ExecTier, FuncBackend, InterruptStrategy,
+    Program, TaskSlot,
 };
 use inca_compiler::Compiler;
 use inca_model::{zoo, Network, NetworkBuilder, Shape3};
-use inca_obs::{Metrics, MetricsSnapshot};
+use inca_obs::{HostProf, Metrics, MetricsSnapshot};
 
 /// One ResNet-18 basic block (two 3×3/64 convs with an identity shortcut)
 /// at the 28×28 stage resolution.
@@ -122,5 +130,33 @@ fn main() {
         m.set_gauge(&format!("{name}.tier1_macs_per_s"), macs / t1);
         m.set_gauge(&format!("{name}.tier1_speedup"), t0 / t1);
     }
+
+    // Host-profiling suite: one shared profiler across the serve-spans
+    // scenario (TimingBackend — gateway, scheduler and Tier-0 stepping)
+    // and a direct Tier-1 functional run (layer batches).
+    let prof = HostProf::new();
+    let serve = inca_bench::serve_spans_scenario(
+        InterruptStrategy::VirtualInstruction,
+        0,
+        Some(prof.clone()),
+    );
+    assert!(serve.responses > 0, "hostprof serve scenario completes requests");
+    {
+        let (net, _) = &tier_workloads[0];
+        let program = Arc::new(compiler.compile_vi(net).unwrap());
+        let mut backend = FuncBackend::with_tier(ExecTier::Tier1);
+        backend.set_threads(1);
+        backend.install_image(TaskSlot::LOWEST, DdrImage::for_program(&program, 0xBEEF));
+        let mut engine =
+            Engine::new(AccelConfig::paper_small(), InterruptStrategy::VirtualInstruction, backend);
+        engine.set_host_prof(Some(prof.clone()));
+        engine.load(TaskSlot::LOWEST, Arc::clone(&program)).unwrap();
+        engine.request_at(0, TaskSlot::LOWEST).unwrap();
+        engine.run().unwrap();
+    }
+    let report = prof.report();
+    eprint!("{}", report.render());
+    m.absorb("", &report.metrics());
+
     println!("{}", MetricsSnapshot::new("perf_smoke", m).to_json());
 }

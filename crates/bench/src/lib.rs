@@ -24,10 +24,14 @@ use std::sync::Arc;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use inca_accel::{AccelConfig, Engine, InterruptEvent, InterruptStrategy, Program, TimingBackend};
+use inca_accel::{
+    AccelConfig, CorePool, Engine, InterruptEvent, InterruptStrategy, Program, TimingBackend,
+};
 use inca_compiler::Compiler;
 use inca_isa::TaskSlot;
 use inca_model::{zoo, Network, Shape3};
+use inca_obs::{HostProf, TraceEvent, Tracer};
+use inca_serve::{DropPolicy, Gateway, PlacePolicy, SchedPolicy, TenantSpec};
 
 /// The paper's camera resolution.
 pub const CAMERA: Shape3 = Shape3 { c: 3, h: 480, w: 640 };
@@ -130,6 +134,86 @@ pub fn probe_interrupt(
         "expected exactly one interrupt at cycle {request_cycle}"
     );
     report.interrupts[0]
+}
+
+/// Outcome of the canonical serve-spans scenario
+/// ([`serve_spans_scenario`]).
+#[derive(Debug)]
+pub struct SpansScenario {
+    /// Every trace event the run emitted, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Events the ring dropped (0 unless the capacity was exceeded).
+    pub dropped: u64,
+    /// The accelerator clock, for µs rendering.
+    pub clock_hz: u64,
+    /// Responses produced (completed requests).
+    pub responses: u64,
+}
+
+/// The canonical request-span scenario: the hard-lane isolation cell of
+/// `fig_serve_load` in miniature. One core serves a hard-deadline tenant
+/// probed once per round while a best-effort tenant's batched pairs keep
+/// the datapath busy, so every tagged hard request crosses the full
+/// lifecycle — queue, batch (for the best-effort pairs), program reload,
+/// execution and preemption — and its span breakdown exercises every
+/// stage. Fully deterministic: the same `(strategy, trace_sample)` yields
+/// byte-identical event streams on any host or thread count.
+///
+/// `trace_sample` is the gateway's span-sampling modulus (1 = every
+/// request, 0 = spans off); `host_prof` optionally installs the wall-clock
+/// self-profiler (which never alters the returned events).
+///
+/// # Panics
+///
+/// Panics on compile or simulation errors (bench harness context).
+#[must_use]
+pub fn serve_spans_scenario(
+    strategy: InterruptStrategy,
+    trace_sample: u64,
+    host_prof: Option<HostProf>,
+) -> SpansScenario {
+    let cfg = AccelConfig::paper_big();
+    let hard_w = Workload::compile(&cfg, &zoo::tiny(Shape3::new(3, 48, 48)).expect("hard net"));
+    let be_w = Workload::compile(&cfg, &zoo::tiny(Shape3::new(3, 96, 96)).expect("be net"));
+    let hard_prog = hard_w.for_strategy(strategy);
+    let be_prog = be_w.for_strategy(strategy);
+    let be_span = makespan(&cfg, &be_prog);
+
+    let pool = CorePool::new(1, cfg, strategy, TimingBackend::new);
+    let mut gw = Gateway::new(pool, SchedPolicy::FixedPriority, PlacePolicy::LeastLoaded);
+    gw.set_batch_window(be_span / 8);
+    gw.set_max_batch(4);
+    gw.set_trace_sample(trace_sample);
+    let (tracer, buf) = Tracer::ring(1 << 16);
+    gw.set_tracer(tracer);
+    gw.set_host_prof(host_prof);
+
+    let hard = gw.register(
+        TenantSpec::new("estop", Arc::clone(&hard_prog))
+            .hard(1_000_000_000)
+            .queue(8, DropPolicy::Reject),
+    );
+    let be = gw.register(
+        TenantSpec::new("bg", Arc::clone(&be_prog)).weight(3).queue(64, DropPolicy::Reject),
+    );
+
+    let rounds = 8u64;
+    let gap = be_span * 2;
+    let mut now = 0;
+    for i in 0..rounds {
+        let t0 = i * gap;
+        gw.run_until(t0).expect("engine");
+        // A best-effort pair early in the round fills a batch buffer...
+        let _ = gw.submit(t0 + be_span / 16, be);
+        let _ = gw.submit(t0 + be_span / 8, be);
+        // ...then the hard probe lands mid-flight and preempts.
+        now = t0 + be_span / 2;
+        gw.run_until(now).expect("engine");
+        gw.submit(now, hard).expect("hard lane admits");
+    }
+    gw.run_to_idle(now + gap * rounds * 4).expect("engine");
+    let responses = gw.drain_responses().len() as u64;
+    SpansScenario { dropped: buf.dropped(), events: buf.drain(), clock_hz: cfg.clock_hz, responses }
 }
 
 /// Mean over a slice of cycle counts, in microseconds.

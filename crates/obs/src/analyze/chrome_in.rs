@@ -22,6 +22,7 @@ use inca_isa::{Opcode, TaskSlot, TASK_SLOTS};
 
 use crate::chrome::{APP_TID, RUNTIME_TID};
 use crate::json::Value;
+use crate::span::SpanStage;
 use crate::trace::TraceEvent;
 
 /// Clock assumed for traces without an `"engine meta"` instant (the
@@ -78,6 +79,7 @@ fn rank(ev: &TraceEvent) -> u8 {
         TraceEvent::DeadlineMet { .. } | TraceEvent::DeadlineMissed { .. } => 9,
         TraceEvent::MessagePublished { .. } | TraceEvent::TimerFired { .. } => 10,
         TraceEvent::Milestone { .. } => 11,
+        TraceEvent::Span { .. } => 12,
     }
 }
 
@@ -151,6 +153,31 @@ pub fn import(text: &str) -> Result<Vec<ImportedProcess>, String> {
                 }
             }
             "M" => {}
+            "X" if name.starts_with("span:") => {
+                // Span slices carry every field as raw u64 args, so the
+                // round trip is exact regardless of the µs timebase.
+                let Some(stage) = arg_u64(args, "stage").and_then(SpanStage::from_code) else {
+                    continue;
+                };
+                let (Some(id), Some(request), Some(start), Some(end)) = (
+                    arg_u64(args, "id"),
+                    arg_u64(args, "request"),
+                    arg_u64(args, "start_cy"),
+                    arg_u64(args, "end_cy"),
+                ) else {
+                    continue;
+                };
+                p.events.push(TraceEvent::Span {
+                    id,
+                    parent: arg_u64(args, "parent").unwrap_or(0),
+                    request,
+                    stage,
+                    start,
+                    end,
+                    core: arg_u64(args, "core").map_or(crate::span::NO_CORE, |c| c as u32),
+                    detail: arg_u64(args, "detail").unwrap_or(0),
+                });
+            }
             "X" => {
                 let Some(ts) = rec.get("ts").and_then(Value::as_f64) else { continue };
                 let Some(dur) = rec.get("dur").and_then(Value::as_f64) else { continue };

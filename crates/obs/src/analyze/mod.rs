@@ -15,6 +15,7 @@ pub mod baseline;
 pub mod chrome_in;
 pub mod preemption;
 pub mod slo;
+pub mod spans;
 
 pub use attribution::{Attribution, LatencyBreakdown, SlotAttribution, TaskAttribution};
 pub use baseline::{
@@ -23,6 +24,7 @@ pub use baseline::{
 pub use chrome_in::{import, ImportedProcess, DEFAULT_CLOCK_HZ};
 pub use preemption::{DriftReport, PreemptionStats, T2Model};
 pub use slo::{ClauseResult, DeadlineStats, SloReport, SloSpec, TaskSel};
+pub use spans::{RequestBreakdown, SpanAnalysis, SPANS_SCHEMA};
 
 use crate::metrics::Metrics;
 use crate::trace::TraceEvent;
@@ -43,6 +45,8 @@ pub struct Analyzer {
     pub attribution: Attribution,
     /// Deadline accounting (mirrors the runtime's derivation).
     pub deadlines: DeadlineStats,
+    /// Request-scoped span accounting (DESIGN.md §5.7).
+    pub spans: SpanAnalysis,
 }
 
 impl Analyzer {
@@ -62,6 +66,7 @@ impl Analyzer {
         self.preemption.push(ev);
         self.attribution.push(ev);
         self.deadlines.push(ev);
+        self.spans.push(ev);
     }
 
     /// Consumes a whole event stream.
@@ -140,6 +145,9 @@ impl Analyzer {
                 );
             }
         }
+        if !self.spans.is_empty() {
+            m.absorb("analyze.", &self.spans.metrics());
+        }
         m
     }
 
@@ -207,6 +215,9 @@ impl Analyzer {
                 t.bound,
                 us(t.queue_delay.max()),
             ));
+        }
+        if !self.spans.is_empty() {
+            out.push_str(&self.spans.render(self.clock_hz_or_default()));
         }
         out
     }

@@ -15,16 +15,27 @@
 //!          | queue:<duration>          # max queue delay
 //!          | jobs:<count>              # min completed jobs
 //!          | period:<duration>         # release period → throughput floor
+//!          | queue_share:<fraction>    # max share of lane latency in queue
+//!          | batch_share:<fraction>    # … waiting in a gateway batch
+//!          | reload_share:<fraction>   # … in program-reload DMA
+//!          | preempt_share:<fraction>  # … preempted out
 //! duration := <number>("cy"|"us"|"ms"|"s")
+//! fraction := ['<']<number>            # e.g. 0.2 or <0.2
 //! ```
 //!
 //! `<name>` resolves through the caller-supplied alias table (the DSLAM
 //! mission maps `fe`→slot 1 and `pr`→slot 3), or the built-ins `slotN` /
-//! `taskN` for physical slots and scheduler tasks.
+//! `taskN` for physical slots and scheduler tasks, plus `hard` / `be` for
+//! the serving lanes. Lane selectors and the `*_share` clauses evaluate
+//! against request-scoped span data (DESIGN.md §5.7), so they need
+//! [`SloSpec::evaluate_with_spans`]; share bounds compare the lane's
+//! **aggregate** share (summed stage cycles over summed latency).
 
 use crate::analyze::attribution::Attribution;
 use crate::analyze::preemption::PreemptionStats;
+use crate::analyze::spans::SpanAnalysis;
 use crate::metrics::Histogram;
+use crate::span::SpanStage;
 use crate::trace::TraceEvent;
 use inca_isa::TASK_SLOTS;
 
@@ -73,6 +84,11 @@ pub enum TaskSel {
     Slot(usize),
     /// A logical scheduler task.
     SchedTask(u32),
+    /// A serving lane (requires span data: [`SloSpec::evaluate_with_spans`]).
+    Lane {
+        /// Hard-deadline lane (`false` = best-effort).
+        hard: bool,
+    },
 }
 
 /// One parsed SLO spec.
@@ -94,6 +110,9 @@ pub struct SloSpec {
     pub min_jobs: Option<u64>,
     /// Release period, cycles — requires ≥ `window/period − 1` jobs.
     pub period: Option<u64>,
+    /// Max aggregate `(stage, share)` bounds over the selected lane's
+    /// latency decomposition (span data required).
+    pub max_shares: Vec<(SpanStage, f64)>,
 }
 
 /// One clause's verdict.
@@ -140,6 +159,15 @@ fn parse_duration(s: &str, clock_hz: u64) -> Result<u64, String> {
     Ok(cycles.round() as u64)
 }
 
+fn parse_share(s: &str) -> Result<f64, String> {
+    let v = s.strip_prefix('<').unwrap_or(s);
+    let share: f64 = v.parse().map_err(|_| format!("bad share fraction {s:?}"))?;
+    if !(0.0..=1.0).contains(&share) {
+        return Err(format!("share fraction {s:?} outside 0..=1"));
+    }
+    Ok(share)
+}
+
 impl SloSpec {
     /// Parses one `name=clauses` spec. `aliases` maps task names to
     /// selectors; `clock_hz` converts time units to cycles.
@@ -164,7 +192,14 @@ impl SloSpec {
             .or_else(|| {
                 name.strip_prefix("task").and_then(|n| n.parse().ok()).map(TaskSel::SchedTask)
             })
-            .ok_or_else(|| format!("unknown SLO task {name:?} (aliases, slotN or taskN)"))?;
+            .or(match name {
+                "hard" => Some(TaskSel::Lane { hard: true }),
+                "be" | "best-effort" => Some(TaskSel::Lane { hard: false }),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                format!("unknown SLO task {name:?} (aliases, slotN, taskN, hard or be)")
+            })?;
         let mut out = SloSpec {
             name: name.to_owned(),
             sel,
@@ -174,6 +209,7 @@ impl SloSpec {
             max_queue_delay: None,
             min_jobs: None,
             period: None,
+            max_shares: Vec::new(),
         };
         for clause in body.split('+') {
             let clause = clause.trim();
@@ -190,6 +226,18 @@ impl SloSpec {
                 }
                 Some(("miss", v)) => {
                     out.max_miss_rate = v.parse().map_err(|_| format!("bad miss rate {v:?}"))?;
+                }
+                Some(("queue_share", v)) => {
+                    out.max_shares.push((SpanStage::Queue, parse_share(v)?));
+                }
+                Some(("batch_share", v)) => {
+                    out.max_shares.push((SpanStage::BatchWait, parse_share(v)?));
+                }
+                Some(("reload_share", v)) => {
+                    out.max_shares.push((SpanStage::Reload, parse_share(v)?));
+                }
+                Some(("preempt_share", v)) => {
+                    out.max_shares.push((SpanStage::Preempted, parse_share(v)?));
                 }
                 Some((k, _)) => return Err(format!("unknown SLO clause {k:?}")),
             }
@@ -210,13 +258,32 @@ impl SloSpec {
             .collect()
     }
 
-    /// Evaluates the spec against an analyzed trace.
+    /// Evaluates the spec against an analyzed trace. Lane selectors and
+    /// `*_share` clauses fail here (no span data) — use
+    /// [`Self::evaluate_with_spans`] when spans are available.
     #[must_use]
     pub fn evaluate(&self, attr: &Attribution, preempt: &PreemptionStats) -> SloReport {
+        self.evaluate_with_spans(attr, preempt, None)
+    }
+
+    /// Evaluates the spec against an analyzed trace, with optional
+    /// request-scoped span data backing lane selectors (`hard`/`be`) and
+    /// the `*_share` clauses.
+    #[must_use]
+    pub fn evaluate_with_spans(
+        &self,
+        attr: &Attribution,
+        preempt: &PreemptionStats,
+        spans: Option<&SpanAnalysis>,
+    ) -> SloReport {
         let mut clauses = Vec::new();
         let mut slack = Histogram::default();
         let mut miss_rate = 0.0;
 
+        let lane_breakdowns = match self.sel {
+            TaskSel::Lane { hard } => spans.map(|s| s.lane(hard)),
+            _ => None,
+        };
         let (completed, queue_max, win_latency) = match self.sel {
             TaskSel::Slot(i) => (
                 attr.slots[i].finished,
@@ -226,6 +293,10 @@ impl SloSpec {
             TaskSel::SchedTask(t) => {
                 let task = attr.tasks.get(&t);
                 (task.map_or(0, |t| t.bound), task.map_or(0, |t| t.queue_delay.max()), 0)
+            }
+            TaskSel::Lane { .. } => {
+                let lane = lane_breakdowns.as_deref().unwrap_or(&[]);
+                (lane.len() as u64, lane.iter().map(|b| b.queue()).max().unwrap_or(0), 0)
             }
         };
 
@@ -252,19 +323,53 @@ impl SloSpec {
                         ),
                     });
                 }
+                TaskSel::Lane { .. } => match lane_breakdowns.as_deref() {
+                    Some(lane) if !lane.is_empty() => {
+                        let missed = lane.iter().filter(|b| b.total() > deadline).count() as u64;
+                        for b in lane {
+                            slack.observe(deadline.saturating_sub(b.total()));
+                        }
+                        miss_rate = missed as f64 / lane.len() as f64;
+                        clauses.push(ClauseResult {
+                            label: format!(
+                                "deadline ≤ {deadline}cy (miss ≤ {})",
+                                self.max_miss_rate
+                            ),
+                            passed: miss_rate <= self.max_miss_rate,
+                            detail: format!(
+                                "{missed}/{} over; worst latency {}cy",
+                                lane.len(),
+                                lane.iter().map(|b| b.total()).max().unwrap_or(0)
+                            ),
+                        });
+                    }
+                    _ => clauses.push(ClauseResult {
+                        label: format!("deadline ≤ {deadline}cy"),
+                        passed: false,
+                        detail: "lane selectors need span data (no tagged requests?)".into(),
+                    }),
+                },
                 TaskSel::SchedTask(_) => clauses.push(ClauseResult {
                     label: format!("deadline ≤ {deadline}cy"),
                     passed: false,
-                    detail: "deadline clauses need a slot selector".into(),
+                    detail: "deadline clauses need a slot or lane selector".into(),
                 }),
             }
         }
         if let Some(max) = self.max_preempt_latency {
-            clauses.push(ClauseResult {
-                label: format!("preempt latency ≤ {max}cy"),
-                passed: win_latency <= max,
-                detail: format!("worst t1+t2 when winning: {win_latency}cy"),
-            });
+            if matches!(self.sel, TaskSel::Lane { .. }) {
+                clauses.push(ClauseResult {
+                    label: format!("preempt latency ≤ {max}cy"),
+                    passed: false,
+                    detail: "latency clauses need a slot selector".into(),
+                });
+            } else {
+                clauses.push(ClauseResult {
+                    label: format!("preempt latency ≤ {max}cy"),
+                    passed: win_latency <= max,
+                    detail: format!("worst t1+t2 when winning: {win_latency}cy"),
+                });
+            }
         }
         if let Some(max) = self.max_queue_delay {
             clauses.push(ClauseResult {
@@ -287,6 +392,40 @@ impl SloSpec {
                 passed: completed >= expected,
                 detail: format!("{completed} completed, window supports {expected}"),
             });
+        }
+        for &(stage, max) in &self.max_shares {
+            let key = match stage {
+                SpanStage::Queue => "queue_share",
+                SpanStage::BatchWait => "batch_share",
+                SpanStage::Reload => "reload_share",
+                SpanStage::Preempted => "preempt_share",
+                _ => "share",
+            };
+            let label = format!("{key} < {max}");
+            match (self.sel, spans) {
+                (TaskSel::Lane { hard }, Some(spans)) => match spans.lane_share(hard, stage) {
+                    Some(share) => clauses.push(ClauseResult {
+                        label,
+                        passed: share < max || (share - max).abs() < 1e-12,
+                        detail: format!("aggregate {key} = {share:.4}"),
+                    }),
+                    None => clauses.push(ClauseResult {
+                        label,
+                        passed: false,
+                        detail: "lane has no completed requests".into(),
+                    }),
+                },
+                (TaskSel::Lane { .. }, None) => clauses.push(ClauseResult {
+                    label,
+                    passed: false,
+                    detail: "share clauses need span data (no tagged requests?)".into(),
+                }),
+                _ => clauses.push(ClauseResult {
+                    label,
+                    passed: false,
+                    detail: "share clauses need a lane selector (hard/be)".into(),
+                }),
+            }
         }
 
         SloReport {
@@ -421,6 +560,63 @@ mod tests {
         // Deadline clauses need slot-level completion data.
         let bad = SloSpec::parse("task3=50ms", &[], HZ).expect("parse");
         assert!(!bad.evaluate(&attr, &preempt).passed);
+    }
+
+    #[test]
+    fn lane_selectors_and_share_clauses_use_spans() {
+        use crate::span::{request_detail, request_span_id, span_id, NO_CORE};
+        let mk = |request: u64, stage: SpanStage, seq: u32, start: u64, end: u64, detail: u64| {
+            TraceEvent::Span {
+                id: span_id(request, stage, seq),
+                parent: if stage == SpanStage::Request { 0 } else { request_span_id(request) },
+                request,
+                stage,
+                start,
+                end,
+                core: NO_CORE,
+                detail,
+            }
+        };
+        let mut spans = SpanAnalysis::new();
+        // Hard request: 1000cy total, 300 queue (residual), 50 reload,
+        // 450 exec, 200 preempted.
+        spans.push(&mk(1, SpanStage::Reload, 0, 300, 350, 0));
+        spans.push(&mk(1, SpanStage::Exec, 0, 350, 600, 0));
+        spans.push(&mk(1, SpanStage::Preempted, 0, 600, 800, 0));
+        spans.push(&mk(1, SpanStage::Exec, 1, 800, 1000, 0));
+        spans.push(&mk(1, SpanStage::Request, 0, 0, 1000, request_detail(true, 0)));
+
+        let attr = Attribution::default();
+        let preempt = PreemptionStats::default();
+
+        let spec = SloSpec::parse("hard=2000cy+jobs:1+queue_share:<0.5", &[], HZ).expect("parse");
+        assert_eq!(spec.sel, TaskSel::Lane { hard: true });
+        assert_eq!(spec.max_shares, vec![(SpanStage::Queue, 0.5)]);
+        let r = spec.evaluate_with_spans(&attr, &preempt, Some(&spans));
+        assert!(r.passed, "{:?}", r.clauses);
+        assert_eq!(r.slack.count(), 1);
+
+        // Aggregate queue share is 0.3 — a 0.2 bound must fail.
+        let tight = SloSpec::parse("hard=queue_share:0.2", &[], HZ).expect("parse");
+        assert!(!tight.evaluate_with_spans(&attr, &preempt, Some(&spans)).passed);
+
+        // Lane clauses without span data fail loudly instead of passing
+        // vacuously.
+        assert!(!spec.evaluate(&attr, &preempt).passed);
+
+        // Share clauses need a lane selector.
+        let misdirected = SloSpec::parse("slot1=queue_share:<0.5", &[], HZ).expect("parse");
+        assert!(!misdirected.evaluate_with_spans(&attr, &preempt, Some(&spans)).passed);
+
+        // Empty be lane: deadline clause fails (no requests), jobs too.
+        let be = SloSpec::parse("be=1ms+jobs:1", &[], HZ).expect("parse");
+        assert!(!be.evaluate_with_spans(&attr, &preempt, Some(&spans)).passed);
+
+        // Latency clauses stay slot-scoped.
+        let lat = SloSpec::parse("hard=latency:10us", &[], HZ).expect("parse");
+        assert!(!lat.evaluate_with_spans(&attr, &preempt, Some(&spans)).passed);
+
+        assert!(SloSpec::parse("hard=queue_share:1.5", &[], HZ).is_err());
     }
 
     #[test]

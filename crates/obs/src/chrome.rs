@@ -26,6 +26,9 @@ use inca_isa::TASK_SLOTS;
 pub const RUNTIME_TID: u32 = 8;
 /// tid of the application-milestone track.
 pub const APP_TID: u32 = 9;
+/// First tid of the request-span tracks: one track per
+/// [`crate::span::SpanStage`], at `SPAN_TID_BASE + stage.code()`.
+pub const SPAN_TID_BASE: u32 = 16;
 
 /// Builder for a Chrome trace-event JSON document.
 #[derive(Debug)]
@@ -103,6 +106,22 @@ impl ChromeTrace {
         self.parts.push(o.finish());
     }
 
+    /// Marks `pid`'s trace ring as having overflowed: `dropped` events
+    /// were evicted before export, so the trace is **incomplete**. Emits
+    /// a loud warning on stderr plus an unmissable instant at cycle 0,
+    /// so a truncated trace is never silently analyzed as complete.
+    pub fn note_dropped(&mut self, pid: u32, dropped: u64) {
+        if dropped == 0 {
+            return;
+        }
+        eprintln!(
+            "WARNING: trace ring overflowed — {dropped} event(s) dropped from pid {pid}; \
+             the exported trace is INCOMPLETE (raise the ring capacity or sample requests)"
+        );
+        let args = Obj::new().u64("dropped", dropped).finish();
+        self.instant(pid, RUNTIME_TID, "TRACE RING OVERFLOW", 0, Some(args));
+    }
+
     /// Adds one process (accelerator/agent) worth of events.
     pub fn add_process(&mut self, pid: u32, name: &str, events: &[TraceEvent]) {
         self.meta(pid, None, "process_name", name);
@@ -111,6 +130,24 @@ impl ChromeTrace {
         }
         self.meta(pid, Some(RUNTIME_TID), "thread_name", "runtime");
         self.meta(pid, Some(APP_TID), "thread_name", "app");
+        if events.iter().any(|ev| matches!(ev, TraceEvent::Span { .. })) {
+            for stage in crate::span::SpanStage::ALL {
+                self.meta(
+                    pid,
+                    Some(SPAN_TID_BASE + stage.code() as u32),
+                    "thread_name",
+                    &format!("span:{stage}"),
+                );
+            }
+        }
+        // Span id -> track tid, for flow-event (arrow) endpoints.
+        let span_tid = |stage: crate::span::SpanStage| SPAN_TID_BASE + stage.code() as u32;
+        let mut span_tracks: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for ev in events {
+            if let TraceEvent::Span { id, stage, .. } = ev {
+                span_tracks.insert(*id, span_tid(*stage));
+            }
+        }
 
         // Open "job" slice start cycle per slot track.
         let mut open: [Option<u64>; TASK_SLOTS] = [None; TASK_SLOTS];
@@ -236,6 +273,48 @@ impl ChromeTrace {
                     let args =
                         Obj::new().str("strategy", strategy).u64("clock_hz", *clock_hz).finish();
                     self.instant(pid, RUNTIME_TID, "engine meta", *cycle, Some(args));
+                }
+                TraceEvent::Span { id, parent, request, stage, start, end, core, detail } => {
+                    last_cycle = last_cycle.max(*end);
+                    // All fields ride as raw u64 args so the importer
+                    // round-trips spans exactly despite the float
+                    // microsecond timebase.
+                    let args = Obj::new()
+                        .u64("id", *id)
+                        .u64("parent", *parent)
+                        .u64("request", *request)
+                        .u64("stage", stage.code())
+                        .u64("start_cy", *start)
+                        .u64("end_cy", *end)
+                        .u64("core", u64::from(*core))
+                        .u64("detail", *detail)
+                        .finish();
+                    let tid = span_tid(*stage);
+                    self.slice(
+                        pid,
+                        tid,
+                        &format!("span:{stage}"),
+                        *start,
+                        end.saturating_sub(*start),
+                        Some(args),
+                    );
+                    // Causal arrow from the parent's slice to this one.
+                    if let Some(&ptid) = span_tracks.get(parent) {
+                        for (ph, t) in [("s", ptid), ("f", tid)] {
+                            let mut o = Obj::new()
+                                .str("name", "span-flow")
+                                .str("cat", "flow")
+                                .str("ph", ph)
+                                .u64("id", *id)
+                                .raw("ts", &self.ts(*start))
+                                .u64("pid", u64::from(pid))
+                                .u64("tid", u64::from(t));
+                            if ph == "f" {
+                                o = o.str("bp", "e");
+                            }
+                            self.parts.push(o.finish());
+                        }
+                    }
                 }
                 TraceEvent::Milestone { cycle, label, detail } => {
                     let args = Obj::new().str("detail", detail).finish();

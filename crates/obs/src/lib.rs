@@ -27,12 +27,20 @@
 pub mod analyze;
 pub mod ascii;
 pub mod chrome;
+pub mod hostprof;
 pub mod json;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
 pub use analyze::Analyzer;
 pub use ascii::{paint, render, TimelineRow};
 pub use chrome::{ChromeTrace, APP_TID, RUNTIME_TID};
-pub use metrics::{Histogram, Metrics, MetricsSnapshot, CYCLE_BUCKETS, METRICS_SCHEMA};
+pub use hostprof::{HostComponent, HostProf, HostProfReport, HostTimer};
+pub use metrics::{
+    Histogram, Metrics, MetricsSnapshot, CYCLE_BUCKETS, METRICS_SCHEMA, SPANS_SCHEMA,
+};
+pub use span::{
+    request_detail, request_span_id, span_id, split_request_detail, Span, SpanStage, NO_CORE,
+};
 pub use trace::{RingSink, TraceBuffer, TraceEvent, TraceSink, Tracer};

@@ -330,6 +330,12 @@ impl Metrics {
 /// `fig_dslam_mission --json`).
 pub const METRICS_SCHEMA: &str = "inca-obs/metrics-v1";
 
+/// Schema identifier for span critical-path snapshots (same envelope
+/// shape as [`METRICS_SCHEMA`], produced by
+/// `inca_obs::analyze::spans::SpanAnalysis::metrics` via
+/// `MetricsSnapshot::with_schema`).
+pub const SPANS_SCHEMA: &str = "inca-obs/spans-v1";
+
 /// A named, serialisable view of a [`Metrics`] registry.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
@@ -337,13 +343,40 @@ pub struct MetricsSnapshot {
     pub name: String,
     /// The metrics.
     pub metrics: Metrics,
+    /// Schema identifier ([`METRICS_SCHEMA`] unless overridden with
+    /// [`MetricsSnapshot::with_schema`]).
+    pub schema: String,
 }
 
 impl MetricsSnapshot {
-    /// Wraps `metrics` under `name`.
+    /// Wraps `metrics` under `name` with the default [`METRICS_SCHEMA`].
     #[must_use]
     pub fn new(name: impl Into<String>, metrics: Metrics) -> Self {
-        Self { name: name.into(), metrics }
+        Self { name: name.into(), metrics, schema: METRICS_SCHEMA.to_owned() }
+    }
+
+    /// Overrides the schema identifier (e.g. [`SPANS_SCHEMA`]).
+    #[must_use]
+    pub fn with_schema(mut self, schema: &str) -> Self {
+        self.schema = schema.to_owned();
+        self
+    }
+
+    /// Surfaces a trace ring's overflow count as the `trace.dropped`
+    /// counter, so a snapshot built next to a truncated trace says so.
+    /// Emits a loud stderr warning when events were actually dropped —
+    /// a truncated trace must never be analyzed silently as complete.
+    #[must_use]
+    pub fn with_trace_drops(mut self, dropped: u64) -> Self {
+        if dropped > 0 {
+            eprintln!(
+                "WARNING: trace ring overflowed — {dropped} event(s) dropped; snapshot {:?} \
+                 covers an INCOMPLETE trace (raise the ring capacity or sample requests)",
+                self.name
+            );
+        }
+        self.metrics.inc("trace.dropped", dropped);
+        self
     }
 
     /// The flat JSON form shared by all bench bins:
@@ -353,7 +386,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let (counters, gauges, histograms) = self.metrics.to_json_fragment();
         Obj::new()
-            .str("schema", METRICS_SCHEMA)
+            .str("schema", &self.schema)
             .str("name", &self.name)
             .raw("counters", &counters)
             .raw("gauges", &gauges)
@@ -368,14 +401,14 @@ impl MetricsSnapshot {
     /// # Errors
     ///
     /// Returns a message when the text is not valid JSON, the `schema`
-    /// field is missing or not [`METRICS_SCHEMA`], or a section is
-    /// malformed.
+    /// field is missing or neither [`METRICS_SCHEMA`] nor
+    /// [`SPANS_SCHEMA`], or a section is malformed.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let doc = json::Value::parse(text).map_err(|e| e.to_string())?;
         let schema = doc.get("schema").and_then(json::Value::as_str).unwrap_or("");
-        if schema != METRICS_SCHEMA {
+        if schema != METRICS_SCHEMA && schema != SPANS_SCHEMA {
             return Err(format!(
-                "unsupported metrics schema {schema:?} (expected {METRICS_SCHEMA:?})"
+                "unsupported metrics schema {schema:?} (expected {METRICS_SCHEMA:?} or {SPANS_SCHEMA:?})"
             ));
         }
         let name = doc
@@ -396,7 +429,7 @@ impl MetricsSnapshot {
             let h = Histogram::from_json(v).ok_or_else(|| format!("histogram {k} malformed"))?;
             metrics.insert_histogram(k, h);
         }
-        Ok(Self { name, metrics })
+        Ok(Self { name, metrics, schema: schema.to_owned() })
     }
 }
 

@@ -30,7 +30,10 @@ use std::sync::Arc;
 
 use inca_accel::{AccelConfig, Backend, Engine, JobRecord, SimError};
 use inca_isa::{Program, TaskSlot, RECORD_BYTES, TASK_SLOTS};
-use inca_obs::{Metrics, TraceEvent, Tracer};
+use inca_obs::{
+    request_span_id, span_id, HostComponent, HostProf, Metrics, SpanStage, TraceEvent, Tracer,
+    NO_CORE,
+};
 
 /// Identifies a logical task registered with a [`Scheduler`]. The
 /// `Default` value names the first-registered task.
@@ -258,6 +261,10 @@ impl SchedCompletion {
 struct Pending {
     job: SchedJob,
     deadline: Option<u64>,
+    /// Cycle the job was admitted (opens its Queue span).
+    admitted: u64,
+    /// Request tag for causal spans (`None` = untagged, no spans).
+    tag: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -301,6 +308,10 @@ pub struct Scheduler {
     reloads: u64,
     reload_cycles: u64,
     tracer: Tracer,
+    /// Serving-core index stamped on emitted spans ([`NO_CORE`] standalone).
+    span_core: u32,
+    /// Wall-clock self-profiler (never affects deterministic outputs).
+    host_prof: Option<HostProf>,
 }
 
 impl Scheduler {
@@ -324,6 +335,8 @@ impl Scheduler {
             reloads: 0,
             reload_cycles: 0,
             tracer: Tracer::disabled(),
+            span_core: NO_CORE,
+            host_prof: None,
         }
     }
 
@@ -346,6 +359,17 @@ impl Scheduler {
     /// Installs the tracer scheduler events are emitted through.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Sets the serving-core index stamped on emitted spans.
+    pub fn set_span_core(&mut self, core: u32) {
+        self.span_core = core;
+    }
+
+    /// Installs (or removes) the host self-profiler ([`Scheduler::pump`]
+    /// time is attributed to [`HostComponent::Sched`]).
+    pub fn set_host_prof(&mut self, prof: Option<HostProf>) {
+        self.host_prof = prof;
     }
 
     /// The policy in use.
@@ -443,6 +467,24 @@ impl Scheduler {
     /// full queue; [`RejectReason::AdmissionDenied`] when the admission
     /// controller predicts a deadline miss.
     pub fn submit(&mut self, now: u64, task: TaskId) -> Result<Admission, RejectReason> {
+        self.submit_tagged(now, task, None)
+    }
+
+    /// Like [`Scheduler::submit`], additionally carrying a request tag:
+    /// the binding emits causal `Queue`/`Reload` spans attributed to that
+    /// request, and the engine job inherits the tag for `Exec` spans.
+    /// Untagged submissions emit no spans, keeping legacy traces
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::submit`].
+    pub fn submit_tagged(
+        &mut self,
+        now: u64,
+        task: TaskId,
+        tag: Option<u64>,
+    ) -> Result<Admission, RejectReason> {
         self.now = self.now.max(now);
         let now = self.now;
         let deadline = self.tasks[task.0].spec.relative_deadline.map(|d| now + d);
@@ -483,7 +525,7 @@ impl Scheduler {
         self.next_job += 1;
         let t = &mut self.tasks[task.0];
         t.stats.admitted += 1;
-        t.queue.push_back(Pending { job, deadline });
+        t.queue.push_back(Pending { job, deadline, admitted: now, tag });
         let depth = t.queue.len() as u32;
         self.tracer.emit(|| TraceEvent::SchedAdmitted {
             cycle: now,
@@ -583,6 +625,16 @@ impl Scheduler {
     /// Propagates engine errors (e.g. loading over a raw in-flight job on
     /// a slot the scheduler does not own).
     pub fn pump<B: Backend>(&mut self, now: u64, engine: &mut Engine<B>) -> Result<(), SimError> {
+        let prof = self.host_prof.clone();
+        let t0 = prof.as_ref().map(|_| std::time::Instant::now());
+        let result = self.pump_inner(now, engine);
+        if let (Some(p), Some(t0)) = (prof, t0) {
+            p.add(HostComponent::Sched, t0.elapsed().as_nanos() as u64, 0);
+        }
+        result
+    }
+
+    fn pump_inner<B: Backend>(&mut self, now: u64, engine: &mut Engine<B>) -> Result<(), SimError> {
         if self.policy == SchedPolicy::PremaTokens {
             self.accrue_tokens(now.max(engine.now()));
         }
@@ -669,9 +721,38 @@ impl Scheduler {
         // The context's DDR image follows the task across slots even when
         // the program copy is still resident.
         engine.backend_mut().rebind(slot, task.ctx())?;
-        let release = self.now.max(engine.now()) + reload;
-        engine.request_at(release, slot)?;
+        let base = self.now.max(engine.now());
+        let release = base + reload;
+        engine.request_job_tagged(release, slot, 0, 0, pending.tag)?;
         self.reload_cycles += reload;
+        if let Some(tag) = pending.tag {
+            let core = self.span_core;
+            let admitted = pending.admitted;
+            // Queue span: admission to the cycle a slot was secured; the
+            // reload DMA (if any) gets its own span on top.
+            self.tracer.emit(|| TraceEvent::Span {
+                id: span_id(tag, SpanStage::Queue, 0),
+                parent: request_span_id(tag),
+                request: tag,
+                stage: SpanStage::Queue,
+                start: admitted,
+                end: base,
+                core,
+                detail: idx as u64,
+            });
+            if reload > 0 {
+                self.tracer.emit(|| TraceEvent::Span {
+                    id: span_id(tag, SpanStage::Reload, 0),
+                    parent: request_span_id(tag),
+                    request: tag,
+                    stage: SpanStage::Reload,
+                    start: base,
+                    end: release,
+                    core,
+                    detail: slot.index() as u64,
+                });
+            }
+        }
         let preempting = self
             .bindings
             .iter()

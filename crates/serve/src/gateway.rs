@@ -12,7 +12,10 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use inca_accel::{Backend, CoreId, CorePool, JobRecord, SimError};
-use inca_obs::{Metrics, TraceEvent, Tracer};
+use inca_obs::{
+    request_detail, request_span_id, span_id, HostComponent, HostProf, Metrics, SpanStage,
+    TraceEvent, Tracer,
+};
 use inca_runtime::{DropPolicy, SchedPolicy, Scheduler, TaskId, TaskSpec};
 
 use crate::place::{PlacePolicy, Placer};
@@ -110,6 +113,11 @@ pub struct Gateway<B: Backend> {
     batched_requests: u64,
     lat: Metrics,
     tracer: Tracer,
+    /// Span sampling modulus: requests with `raw % n == 0` emit causal
+    /// spans; `0` disables span emission entirely.
+    trace_sample: u64,
+    /// Wall-clock self-profiler (never affects deterministic outputs).
+    host_prof: Option<HostProf>,
 }
 
 impl<B: Backend> Gateway<B> {
@@ -117,10 +125,20 @@ impl<B: Backend> Gateway<B> {
     /// core, placing with `place_policy`.
     #[must_use]
     pub fn new(pool: CorePool<B>, sched_policy: SchedPolicy, place_policy: PlacePolicy) -> Self {
-        let scheds = pool
+        let mut pool = pool;
+        let mut scheds = pool
             .core_ids()
             .map(|c| Scheduler::new(*pool.core(c).config(), sched_policy))
             .collect::<Vec<_>>();
+        // Stamp every emitter with its serving-core index so spans from
+        // different cores stay distinguishable in one merged stream.
+        let ids: Vec<CoreId> = pool.core_ids().collect();
+        for (i, s) in scheds.iter_mut().enumerate() {
+            s.set_span_core(i as u32);
+        }
+        for id in ids {
+            pool.core_mut(id).set_span_core(id.0 as u32);
+        }
         let n = scheds.len();
         Self {
             pool,
@@ -142,6 +160,8 @@ impl<B: Backend> Gateway<B> {
             batched_requests: 0,
             lat: Metrics::new(),
             tracer: Tracer::disabled(),
+            trace_sample: 0,
+            host_prof: None,
         }
     }
 
@@ -158,13 +178,53 @@ impl<B: Backend> Gateway<B> {
     }
 
     /// Installs the tracer gateway events are emitted through; it is also
-    /// propagated to every core's scheduler, so admission/bind events and
-    /// gateway milestones land in one stream.
+    /// propagated to every core's scheduler and engine, so admission/bind
+    /// events, engine lifecycle events, request spans and gateway
+    /// milestones land in one stream.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         for s in &mut self.scheds {
             s.set_tracer(tracer.clone());
         }
+        let ids: Vec<CoreId> = self.pool.core_ids().collect();
+        for id in ids {
+            self.pool.core_mut(id).set_tracer(tracer.clone());
+        }
         self.tracer = tracer;
+    }
+
+    /// Enables deterministic request-span sampling: requests whose raw id
+    /// satisfies `id % n == 0` emit causal [`TraceEvent::Span`]s at every
+    /// lifecycle edge (gateway, scheduler, engine); `n == 0` disables
+    /// spans. `n == 1` traces every request. Sampling is a pure function
+    /// of the request id, so the same schedule yields the same spans on
+    /// any host or thread count.
+    pub fn set_trace_sample(&mut self, n: u64) {
+        self.trace_sample = n;
+    }
+
+    /// The span-sampling modulus (0 = spans disabled).
+    #[must_use]
+    pub fn trace_sample(&self) -> u64 {
+        self.trace_sample
+    }
+
+    /// Installs (or removes) the host self-profiler on the gateway, every
+    /// core scheduler and every engine. Profiling is wall-clock only: it
+    /// never changes any deterministic output.
+    pub fn set_host_prof(&mut self, prof: Option<HostProf>) {
+        for s in &mut self.scheds {
+            s.set_host_prof(prof.clone());
+        }
+        let ids: Vec<CoreId> = self.pool.core_ids().collect();
+        for id in ids {
+            self.pool.core_mut(id).set_host_prof(prof.clone());
+        }
+        self.host_prof = prof;
+    }
+
+    fn tag_for(&self, request: RequestId) -> Option<u64> {
+        (self.trace_sample > 0 && request.raw().is_multiple_of(self.trace_sample))
+            .then(|| request.raw())
     }
 
     /// The placement policy in use.
@@ -361,7 +421,11 @@ impl<B: Backend> Gateway<B> {
     fn submit_hard(&mut self, now: u64, tenant: TenantId) -> Result<Accepted, ShedReason> {
         let core = self.place(tenant);
         let task = self.task_ids[tenant.0];
-        match self.scheds[core.0].submit(now, task) {
+        // Peek the id the request will get if admitted: the scheduler
+        // needs the span tag at submit time, but rejected submissions must
+        // not consume an id.
+        let tag = self.tag_for(RequestId(self.next_request));
+        match self.scheds[core.0].submit_tagged(now, task, tag) {
             Ok(adm) => {
                 let request = self.next_request_id();
                 self.tenants[tenant.0].stats.admitted += 1;
@@ -443,8 +507,22 @@ impl<B: Backend> Gateway<B> {
         self.trace_milestone(now, format!("serve.flush net{net} x{size} {core}"));
         for e in entries {
             let task = self.task_ids[e.tenant.0];
-            match self.scheds[core.0].submit(now, task) {
+            let tag = self.tag_for(e.request);
+            match self.scheds[core.0].submit_tagged(now, task, tag) {
                 Ok(adm) => {
+                    if let Some(tag) = tag {
+                        let (arrival, c) = (e.arrival, core.0 as u32);
+                        self.tracer.emit(|| TraceEvent::Span {
+                            id: span_id(tag, SpanStage::BatchWait, 0),
+                            parent: request_span_id(tag),
+                            request: tag,
+                            stage: SpanStage::BatchWait,
+                            start: arrival,
+                            end: now,
+                            core: c,
+                            detail: u64::from(size),
+                        });
+                    }
                     self.inflight[core.0].insert(
                         adm.job.raw(),
                         InflightMeta {
@@ -531,8 +609,20 @@ impl<B: Backend> Gateway<B> {
         }
     }
 
-    /// One core's pump/run/complete loop up to `deadline`.
+    /// One core's pump/run/complete loop up to `deadline`. Inclusive wall
+    /// time lands under [`HostComponent::Gateway`]; the report subtracts
+    /// the nested engine/scheduler components to get gateway self-time.
     fn advance_core(&mut self, core: usize, deadline: u64) -> Result<(), SimError> {
+        let prof = self.host_prof.clone();
+        let t0 = prof.as_ref().map(|_| std::time::Instant::now());
+        let result = self.advance_core_inner(core, deadline);
+        if let (Some(p), Some(t0)) = (prof, t0) {
+            p.add(HostComponent::Gateway, t0.elapsed().as_nanos() as u64, 0);
+        }
+        result
+    }
+
+    fn advance_core_inner(&mut self, core: usize, deadline: u64) -> Result<(), SimError> {
         loop {
             let engine = self.pool.core_mut(CoreId(core));
             let now = engine.now();
@@ -586,6 +676,22 @@ impl<B: Backend> Gateway<B> {
         };
         self.lat.observe(&format!("serve.latency.{lane_key}"), response.latency());
         self.lat.observe(&format!("serve.ttfb.{lane_key}"), response.ttfb());
+        if let Some(tag) = self.tag_for(meta.request) {
+            // Root span closes at the response: every other stage of this
+            // request parents (directly or via an exec segment) to it.
+            let (arrival, finish, c) = (meta.arrival, rec.finish, core as u32);
+            let detail = request_detail(lane == Lane::Hard, meta.tenant.0 as u32);
+            self.tracer.emit(|| TraceEvent::Span {
+                id: request_span_id(tag),
+                parent: 0,
+                request: tag,
+                stage: SpanStage::Request,
+                start: arrival,
+                end: finish,
+                core: c,
+                detail,
+            });
+        }
         self.trace_milestone(
             rec.finish,
             format!("serve.done {} {} {lane_key}", meta.tenant, meta.request),

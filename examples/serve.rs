@@ -13,9 +13,15 @@
 //! serve the same workload through the thread-based frontend instead
 //! (bounded command channel, responses fanning out over a bounded bus).
 //!
+//! Pass `--trace-sample N` (deterministic mode) to record request-scoped
+//! causal spans for every request whose id is divisible by N (1 = all)
+//! and print the per-stage latency breakdown — the "explain a slow
+//! request" workflow from the README.
+//!
 //! ```sh
-//! cargo run --release --example serve            # deterministic
-//! cargo run --release --example serve -- --live  # thread-based
+//! cargo run --release --example serve                      # deterministic
+//! cargo run --release --example serve -- --live            # thread-based
+//! cargo run --release --example serve -- --trace-sample 1  # span breakdowns
 //! ```
 
 use std::sync::Arc;
@@ -23,6 +29,7 @@ use std::sync::Arc;
 use inca::accel::{AccelConfig, CorePool, InterruptStrategy, TimingBackend};
 use inca::compiler::Compiler;
 use inca::model::{zoo, Shape3};
+use inca::obs::{Analyzer, Tracer};
 use inca::serve::{
     DropPolicy, Gateway, LiveConfig, LiveServer, PlacePolicy, SchedPolicy, TenantId, TenantSpec,
 };
@@ -74,9 +81,15 @@ fn report(name: &str, gw: &Gateway<TimingBackend>, tenants: &[TenantId; 3]) {
 }
 
 /// The deterministic frontend: the caller owns the virtual clock.
-fn run_deterministic() -> Result<(), Box<dyn std::error::Error>> {
+fn run_deterministic(trace_sample: u64) -> Result<(), Box<dyn std::error::Error>> {
     let (mut gw, tenants) = build_gateway()?;
     let [camera, lidar, estop] = tenants;
+    let buf = (trace_sample > 0).then(|| {
+        let (tracer, buf) = Tracer::ring(1 << 16);
+        gw.set_tracer(tracer);
+        gw.set_trace_sample(trace_sample);
+        buf
+    });
 
     // 40 sensor frames; an emergency fires a third of the way in.
     let mut now = 0u64;
@@ -101,6 +114,19 @@ fn run_deterministic() -> Result<(), Box<dyn std::error::Error>> {
         responses.iter().filter(|r| r.batched > 1).count(),
     );
     report("deterministic", &gw, &tenants);
+    if let Some(buf) = buf {
+        if buf.dropped() > 0 {
+            eprintln!(
+                "WARNING: trace ring overflowed — {} event(s) dropped; span \
+                 breakdowns below cover an INCOMPLETE trace",
+                buf.dropped()
+            );
+        }
+        let mut analyzer = Analyzer::new();
+        analyzer.consume(&buf.drain());
+        println!("\nrequest spans (1/{trace_sample} sampled):");
+        print!("{}", analyzer.spans.render(AccelConfig::paper_big().clock_hz));
+    }
     Ok(())
 }
 
@@ -132,9 +158,16 @@ fn run_live() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    if std::env::args().any(|a| a == "--live") {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_sample = args
+        .iter()
+        .position(|a| a == "--trace-sample")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    if args.iter().any(|a| a == "--live") {
         run_live()
     } else {
-        run_deterministic()
+        run_deterministic(trace_sample)
     }
 }

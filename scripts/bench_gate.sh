@@ -10,10 +10,10 @@
 # `inca_obs::analyze::baseline::default_rules`).
 #
 #   scripts/bench_gate.sh             # full gate: func + func_tiers + sched
-#                                     #   + serve + dslam, plus the tier-1
-#                                     #   MobileNet speedup floor (>= 5x)
+#                                     #   + serve + dslam + spans, plus the
+#                                     #   tier-1 MobileNet speedup floor (>= 5x)
 #   scripts/bench_gate.sh --quick     # deterministic bins only (func_tiers +
-#                                     #   sched + serve + dslam): skips
+#                                     #   sched + serve + dslam + spans): skips
 #                                     #   perf_smoke, whose wall-clock
 #                                     #   throughput needs a quiet machine
 #   scripts/bench_gate.sh --refresh   # regenerate the committed baselines
@@ -35,13 +35,15 @@ gates() {
             "func_tiers BENCH_func_tiers.json fig_func_tiers" \
             "sched BENCH_sched.json fig_sched_load" \
             "serve BENCH_serve.json fig_serve_load" \
-            "dslam BENCH_dslam.json fig_dslam_mission" ;;
+            "dslam BENCH_dslam.json fig_dslam_mission" \
+            "spans BENCH_spans.json spans" ;;
         *) printf '%s\n' \
             "func BENCH_func.json perf_smoke" \
             "func_tiers BENCH_func_tiers.json fig_func_tiers" \
             "sched BENCH_sched.json fig_sched_load" \
             "serve BENCH_serve.json fig_serve_load" \
-            "dslam BENCH_dslam.json fig_dslam_mission" ;;
+            "dslam BENCH_dslam.json fig_dslam_mission" \
+            "spans BENCH_spans.json spans" ;;
     esac
 }
 
@@ -64,8 +66,17 @@ echo "== bench gate: building release bins"
 cargo build --release -p inca-bench --bins -q
 
 run_bin() { # bin -> writes $tmp/<bin>.json
-    echo "== bench gate: running $1 --json"
-    "./target/release/$1" --json > "$tmp/$1.json"
+    if [ "$1" = "spans" ]; then
+        # Per-request critical-path baseline: the spans-v1 snapshot of the
+        # canonical serve scenario (`inca-analyze --spans`). Cycle-domain
+        # counters compare exactly, so any drift in a quantile request's
+        # queue/batch/reload/exec/preempted decomposition trips the gate.
+        echo "== bench gate: running inca-analyze --spans --json"
+        ./target/release/inca-analyze --spans --json > "$tmp/spans.json"
+    else
+        echo "== bench gate: running $1 --json"
+        "./target/release/$1" --json > "$tmp/$1.json"
+    fi
 }
 
 case "$mode" in
@@ -142,6 +153,25 @@ EOF
         ./target/release/inca-analyze --gate "$tmp/fig_func_tiers.json" "$tmp/fig_func_tiers.json"
         if ./target/release/inca-analyze --gate "$tmp/fig_func_tiers.json" "$tmp/tiers_broken.json"; then
             echo "bench gate selftest: FAILED — tier divergence was not flagged" >&2
+            exit 1
+        fi
+        # Fixture 5: the spans snapshot with the hard lane's p99 queue
+        # share regressed — queue cycles shifted into the p99 request's
+        # decomposition and the aggregate share gauge raised. Both are
+        # exact-match under the default rules, so the gate must trip.
+        run_bin spans
+        python3 - "$tmp/spans.json" "$tmp/spans_slow.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+c = snap["counters"]
+c["spans.hard.p99.queue"] += c["spans.hard.p99.exec"] // 2
+c["spans.hard.p99.exec"] -= c["spans.hard.p99.exec"] // 2
+snap["gauges"]["spans.hard.queue_share"] = 0.5
+json.dump(snap, open(sys.argv[2], "w"), separators=(",", ":"))
+EOF
+        ./target/release/inca-analyze --gate "$tmp/spans.json" "$tmp/spans.json"
+        if ./target/release/inca-analyze --gate "$tmp/spans.json" "$tmp/spans_slow.json"; then
+            echo "bench gate selftest: FAILED — spans queue-share regression was not flagged" >&2
             exit 1
         fi
         echo "bench gate selftest: ok (identity passes, injected regressions trip)"
