@@ -567,6 +567,33 @@ impl<B: Backend> Engine<B> {
         self.now
     }
 
+    /// The next cycle this engine can make progress, or `None` when it is
+    /// quiescent: no running job, no ready/preempted job in any slot, no
+    /// pending arrival. Advancing a quiescent engine is a state no-op,
+    /// which is what lets the event engine skip it entirely
+    /// ([`CorePool`](crate::CorePool) in
+    /// [`AdvanceMode::EventDriven`](crate::AdvanceMode)).
+    ///
+    /// With work in a slot the answer is the current cycle; otherwise it
+    /// is the earliest pending arrival (which may lie in the past for a
+    /// late-submitted request — the value orders wakes, it does not gate
+    /// them).
+    #[must_use]
+    pub fn next_event(&self) -> Option<u64> {
+        if self.running.is_some() || self.best_ready().is_some() {
+            return Some(self.now);
+        }
+        self.arrivals.peek().map(|&Reverse((t, _, _))| t)
+    }
+
+    /// The completed-job log, oldest first — the allocation-free way to
+    /// drain completions incrementally (drivers keep a cursor into this
+    /// slice instead of cloning the full [`Report`] per advance).
+    #[must_use]
+    pub fn completed_jobs(&self) -> &[JobRecord] {
+        &self.completed
+    }
+
     /// Access to the backend (e.g. to install or inspect DDR images).
     #[must_use]
     pub fn backend_mut(&mut self) -> &mut B {
@@ -1414,6 +1441,18 @@ impl<B: Backend> Engine<B> {
             final_cycle: self.now,
             profile: self.profile.clone(),
         }
+    }
+}
+
+/// A core is the canonical event-engine component: it wakes at
+/// [`Engine::next_event`] and ticks by running to the barrier.
+impl<B: Backend> crate::event::Component for Engine<B> {
+    fn next_tick(&self) -> Option<u64> {
+        self.next_event()
+    }
+
+    fn tick(&mut self, deadline: u64) -> Result<(), SimError> {
+        self.run_until(deadline)
     }
 }
 

@@ -56,6 +56,7 @@ mod backend;
 mod config;
 mod cost;
 mod engine;
+mod event;
 mod func;
 mod multicore;
 
@@ -69,6 +70,7 @@ pub use cost::instr_cycles;
 pub use engine::{
     Engine, Event, InterruptEvent, InterruptStrategy, JobRecord, Profile, Report, TaskState,
 };
+pub use event::{AdvanceMode, AdvanceStats, Component, WakeHeap};
 pub use func::{CalcKernel, DdrImage, ExecTier, FuncBackend};
 pub use multicore::{CoreId, CorePool};
 

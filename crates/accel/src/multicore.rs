@@ -10,10 +10,20 @@
 //! silicon. The `abl_multicore` bench compares one INCA core against a
 //! partitioned non-preemptive pool on deadline misses, throughput and
 //! resource cost.
+//!
+//! Advancement is discrete-event by default
+//! ([`AdvanceMode::EventDriven`]): cores register in a wake-time
+//! [`WakeHeap`] keyed by [`Engine::next_event`], and a barrier only
+//! ticks armed cores — quiescent ones are skipped entirely, so pool
+//! advancement costs O(events), not O(barriers × cores). The cycle-box
+//! legacy loop survives as [`AdvanceMode::Stepping`]; both modes are
+//! byte-identical on every deterministic artifact (the
+//! `event_differential` suite is the proof).
 
 use inca_isa::{Program, TaskSlot};
 use std::sync::Arc;
 
+use crate::event::{AdvanceMode, AdvanceStats, Component, WakeHeap};
 use crate::resources::{cnn_accelerator, iau, ResourceEstimate};
 use crate::{AccelConfig, Backend, Engine, InterruptStrategy, Report, SimError};
 
@@ -32,6 +42,9 @@ impl std::fmt::Display for CoreId {
 pub struct CorePool<B: Backend> {
     cfg: AccelConfig,
     cores: Vec<Engine<B>>,
+    mode: AdvanceMode,
+    wake: WakeHeap,
+    stats: AdvanceStats,
 }
 
 impl<B: Backend> CorePool<B> {
@@ -48,7 +61,13 @@ impl<B: Backend> CorePool<B> {
     ) -> Self {
         assert!(n > 0, "a pool needs at least one core");
         let cores = (0..n).map(|_| Engine::new(cfg, strategy, make_backend())).collect();
-        Self { cfg, cores }
+        Self {
+            cfg,
+            cores,
+            mode: AdvanceMode::default(),
+            wake: WakeHeap::new(n),
+            stats: AdvanceStats::default(),
+        }
     }
 
     /// Builds a pool from pre-configured engines — the escape hatch for
@@ -63,7 +82,67 @@ impl<B: Backend> CorePool<B> {
     pub fn from_engines(engines: Vec<Engine<B>>) -> Self {
         assert!(!engines.is_empty(), "a pool needs at least one core");
         let cfg = *engines[0].config();
-        Self { cfg, cores: engines }
+        let mut wake = WakeHeap::new(engines.len());
+        // Pre-configured engines may arrive with work already queued.
+        for (i, e) in engines.iter().enumerate() {
+            if let Some(t) = e.next_event() {
+                wake.arm(i, t);
+            }
+        }
+        Self {
+            cfg,
+            cores: engines,
+            mode: AdvanceMode::default(),
+            wake,
+            stats: AdvanceStats::default(),
+        }
+    }
+
+    /// Selects how [`CorePool::run_until`] / [`CorePool::run`] advance
+    /// the cores. Switching to [`AdvanceMode::EventDriven`] re-arms the
+    /// wake heap from every core's [`Engine::next_event`], so a pool
+    /// driven in legacy mode for a while resumes event-driven safely.
+    pub fn set_advance_mode(&mut self, mode: AdvanceMode) {
+        self.mode = mode;
+        if mode == AdvanceMode::EventDriven {
+            for i in 0..self.cores.len() {
+                if let Some(t) = self.cores[i].next_event() {
+                    self.wake.arm(i, t);
+                }
+            }
+        }
+    }
+
+    /// The advance mode in effect.
+    #[must_use]
+    pub fn advance_mode(&self) -> AdvanceMode {
+        self.mode
+    }
+
+    /// Event-engine work counters (barriers, wakes, skips). Stepping-mode
+    /// barriers count every core as a wake.
+    #[must_use]
+    pub fn advance_stats(&self) -> AdvanceStats {
+        self.stats
+    }
+
+    /// The earliest armed wake across all cores, with its core — `None`
+    /// when every core is quiescent. Event-driven drivers use this to
+    /// jump the clock instead of polling.
+    pub fn next_wake(&mut self) -> Option<(u64, CoreId)> {
+        self.wake.next_wake().map(|(t, i)| (t, CoreId(i)))
+    }
+
+    /// Arms an explicit wake event for `core` at `cycle` — the hook
+    /// external couplings (scheduler pumps, batch flushes, DMA arrivals)
+    /// use to guarantee the event engine visits the core at its next
+    /// barrier even though the work is not yet visible to the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range core id.
+    pub fn wake_at(&mut self, core: CoreId, cycle: u64) {
+        self.wake.arm(core.0, cycle);
     }
 
     /// Number of cores.
@@ -93,19 +172,26 @@ impl<B: Backend> CorePool<B> {
         self.cores.get(core.0)
     }
 
-    /// The engine of one core.
+    /// The engine of one core. Mutable access can inject work behind the
+    /// pool's back, so the core is conservatively armed; the next barrier
+    /// revalidates against [`Engine::next_event`] and skips it for free
+    /// if it is still quiescent.
     ///
     /// # Panics
     ///
     /// Panics for an out-of-range core id.
     #[must_use]
     pub fn core_mut(&mut self, core: CoreId) -> &mut Engine<B> {
+        self.wake.arm(core.0, 0);
         &mut self.cores[core.0]
     }
 
     /// The engine of one core, mutable, or `None` for an out-of-range id.
     #[must_use]
     pub fn try_core_mut(&mut self, core: CoreId) -> Option<&mut Engine<B>> {
+        if core.0 < self.cores.len() {
+            self.wake.arm(core.0, 0);
+        }
         self.cores.get_mut(core.0)
     }
 
@@ -162,7 +248,9 @@ impl<B: Backend> CorePool<B> {
     ///
     /// See [`Engine::request_at`].
     pub fn request_at(&mut self, cycle: u64, core: CoreId, slot: TaskSlot) -> Result<(), SimError> {
-        self.cores[core.0].request_at(cycle, slot)
+        self.cores[core.0].request_at(cycle, slot)?;
+        self.wake.arm(core.0, cycle);
+        Ok(())
     }
 
     /// Runs every core to completion.
@@ -171,18 +259,59 @@ impl<B: Backend> CorePool<B> {
     ///
     /// Propagates the first core's simulation error.
     pub fn run(&mut self) -> Result<Vec<Report>, SimError> {
+        if self.mode == AdvanceMode::EventDriven {
+            self.advance(u64::MAX)?;
+            return Ok(self.reports());
+        }
         self.cores.iter_mut().map(Engine::run).collect()
     }
 
     /// Runs every core until `deadline` cycles.
     ///
+    /// In [`AdvanceMode::EventDriven`] only armed cores tick (ascending
+    /// core order, matching the stepping loop so merged trace streams
+    /// stay byte-identical); quiescent cores are skipped, which is a
+    /// provable state no-op — an idle engine's `run_until` touches
+    /// nothing, not even its clock.
+    ///
     /// # Errors
     ///
     /// Propagates the first core's simulation error.
     pub fn run_until(&mut self, deadline: u64) -> Result<(), SimError> {
-        for c in &mut self.cores {
-            c.run_until(deadline)?;
+        match self.mode {
+            AdvanceMode::Stepping => {
+                self.stats.barriers += 1;
+                self.stats.wakes += self.cores.len() as u64;
+                for c in &mut self.cores {
+                    c.run_until(deadline)?;
+                }
+                Ok(())
+            }
+            AdvanceMode::EventDriven => self.advance(deadline),
         }
+    }
+
+    /// One event-driven barrier: tick every armed core to `deadline`,
+    /// re-arming those that still have (or newly gained) future work.
+    fn advance(&mut self, deadline: u64) -> Result<(), SimError> {
+        self.stats.barriers += 1;
+        let armed = self.wake.drain_armed();
+        let mut ticked = 0u64;
+        for i in armed {
+            // Revalidate: `core_mut` arms conservatively, so an armed
+            // core may turn out quiescent. Ticking it anyway would be
+            // harmless (a no-op), just wasted work.
+            if self.cores[i].next_tick().is_none() {
+                continue;
+            }
+            ticked += 1;
+            self.cores[i].tick(deadline)?;
+            if let Some(t) = self.cores[i].next_tick() {
+                self.wake.arm(i, t);
+            }
+        }
+        self.stats.wakes += ticked;
+        self.stats.skips += self.cores.len() as u64 - ticked;
         Ok(())
     }
 

@@ -6,11 +6,12 @@
 use std::sync::Arc;
 
 use inca_accel::{
-    AccelConfig, CoreId, CorePool, Engine, InterruptStrategy, SimError, TimingBackend,
+    AccelConfig, AdvanceMode, CoreId, CorePool, Engine, InterruptStrategy, SimError, TimingBackend,
 };
 use inca_compiler::Compiler;
 use inca_isa::{Program, TaskSlot};
 use inca_model::{zoo, Shape3};
+use inca_obs::Tracer;
 
 fn program_for(cfg: &AccelConfig, side: u32) -> Program {
     Compiler::new(cfg.arch).compile_vi(&zoo::tiny(Shape3::new(3, side, side)).unwrap()).unwrap()
@@ -129,6 +130,101 @@ fn busy_cycles_and_occupancy_reflect_partitioned_load() {
     assert!(occ1 < occ0, "the gap dilutes core 1's occupancy: {occ1} vs {occ0}");
     assert!(occ1 > 0.0);
     assert_eq!(pool.occupancy(CoreId(2)), 0.0);
+}
+
+/// A request landing exactly on the deadline cycle is *not* released by
+/// that `run_until`: the engine clock jumps to the barrier and stops
+/// before the release check runs again. Both advance modes must pin the
+/// identical semantics — the release happens on the next barrier.
+#[test]
+fn request_exactly_on_the_deadline_cycle_waits_for_the_next_barrier() {
+    let cfg = AccelConfig::paper_big();
+    let slot = TaskSlot::new(1).unwrap();
+    for mode in [AdvanceMode::EventDriven, AdvanceMode::Stepping] {
+        let mut pool = CorePool::new(2, cfg, InterruptStrategy::NonPreemptive, TimingBackend::new);
+        pool.set_advance_mode(mode);
+        pool.load(CoreId(0), slot, program_for(&cfg, 16)).unwrap();
+        pool.request_at(1_000, CoreId(0), slot).unwrap();
+
+        pool.run_until(1_000).unwrap();
+        let r = pool.reports();
+        assert_eq!(pool.core(CoreId(0)).now(), 1_000, "{mode}: clock reaches the barrier");
+        assert!(r[0].events.is_empty(), "{mode}: the on-deadline arrival is not yet released");
+
+        // The next barrier — even one cycle later — releases and runs it.
+        pool.run_until(1_001).unwrap();
+        assert!(!pool.reports()[0].events.is_empty(), "{mode}: the next barrier releases the job");
+        pool.run_until(u64::MAX).unwrap();
+        assert_eq!(pool.reports()[0].completed_jobs.len(), 1, "{mode}");
+    }
+}
+
+/// Idle cores advance past a quiescent heap for free: no clock movement,
+/// no events, pure skips in the stats — and the pool comes back to life
+/// when a request re-arms it.
+#[test]
+fn idle_cores_advance_past_a_quiescent_heap() {
+    let cfg = AccelConfig::paper_big();
+    let slot = TaskSlot::new(2).unwrap();
+    let mut pool = CorePool::new(4, cfg, InterruptStrategy::NonPreemptive, TimingBackend::new);
+    assert_eq!(pool.advance_mode(), AdvanceMode::EventDriven, "event mode is the default");
+
+    pool.run_until(10_000).unwrap();
+    pool.run_until(20_000).unwrap();
+    assert_eq!(pool.now(), 0, "nothing armed: no core's clock moves");
+    assert_eq!(pool.next_wake(), None, "the heap is quiescent");
+    let stats = pool.advance_stats();
+    assert_eq!(stats.barriers, 2);
+    assert_eq!(stats.wakes, 0);
+    assert_eq!(stats.skips, 8, "4 cores × 2 barriers, all skipped");
+
+    // A request re-arms the heap; only that core wakes.
+    pool.load(CoreId(2), slot, program_for(&cfg, 16)).unwrap();
+    pool.request_at(30_000, CoreId(2), slot).unwrap();
+    assert_eq!(pool.next_wake(), Some((30_000, CoreId(2))));
+    pool.run_until(u64::MAX).unwrap();
+    assert_eq!(pool.reports()[2].completed_jobs.len(), 1);
+    let stats = pool.advance_stats();
+    assert_eq!(stats.wakes, 1, "exactly the armed core ticked");
+    assert_eq!(stats.skips, 11, "the other three cores stayed skipped");
+}
+
+/// Equal-wake ties advance cores in stable core order: two cores armed
+/// for the same cycle emit into a shared tracer in core order, no matter
+/// which was registered (requested) first — and the merged stream is
+/// byte-identical to the stepping loop's.
+#[test]
+fn equal_wake_ties_advance_in_stable_core_order() {
+    let cfg = AccelConfig::paper_big();
+    let slot = TaskSlot::new(1).unwrap();
+    // Different programs per core so the merged streams are order-sensitive.
+    let (small, large) = (program_for(&cfg, 16), program_for(&cfg, 32));
+
+    let run = |request_order: [usize; 2], mode: AdvanceMode| {
+        let (tracer, buf) = Tracer::ring(1 << 14);
+        let mut engines: Vec<Engine<TimingBackend>> = (0..2)
+            .map(|_| Engine::new(cfg, InterruptStrategy::NonPreemptive, TimingBackend::new()))
+            .collect();
+        for e in &mut engines {
+            e.set_tracer(tracer.clone());
+        }
+        engines[0].load(slot, small.clone()).unwrap();
+        engines[1].load(slot, large.clone()).unwrap();
+        let mut pool = CorePool::from_engines(engines);
+        pool.set_advance_mode(mode);
+        for &core in &request_order {
+            pool.request_at(5_000, CoreId(core), slot).unwrap();
+        }
+        pool.run_until(u64::MAX).unwrap();
+        buf.drain()
+    };
+
+    let forward = run([0, 1], AdvanceMode::EventDriven);
+    let reversed = run([1, 0], AdvanceMode::EventDriven);
+    let stepping = run([1, 0], AdvanceMode::Stepping);
+    assert!(!forward.is_empty());
+    assert_eq!(forward, reversed, "registration order must not change the merged stream");
+    assert_eq!(forward, stepping, "event-driven ≡ stepping, byte-for-byte");
 }
 
 #[test]

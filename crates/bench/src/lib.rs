@@ -15,6 +15,7 @@
 //! | `fig_dslam_mission`     | §V-C DSLAM run (E8) |
 //! | `tab_resources`         | draft table "hardware" (E9) |
 //! | `fig_t1_sweep`          | draft fig. t1all/t1after (E10) |
+//! | `fig_event_engine`      | event-driven vs stepping advance: wall-clock speedup and events-vs-cycles ratio on a mostly-idle 64-core fleet |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +26,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use inca_accel::{
-    AccelConfig, CorePool, Engine, InterruptEvent, InterruptStrategy, Program, TimingBackend,
+    AccelConfig, AdvanceMode, CorePool, Engine, InterruptEvent, InterruptStrategy, Program,
+    TimingBackend,
 };
 use inca_compiler::Compiler;
 use inca_isa::TaskSlot;
@@ -172,6 +174,23 @@ pub fn serve_spans_scenario(
     trace_sample: u64,
     host_prof: Option<HostProf>,
 ) -> SpansScenario {
+    serve_spans_scenario_with_mode(strategy, trace_sample, host_prof, AdvanceMode::default())
+}
+
+/// [`serve_spans_scenario`] with an explicit gateway [`AdvanceMode`] —
+/// the differential harness runs the same scenario event-driven and
+/// stepping and demands byte-identical outcomes.
+///
+/// # Panics
+///
+/// Panics on compile or simulation errors (bench harness context).
+#[must_use]
+pub fn serve_spans_scenario_with_mode(
+    strategy: InterruptStrategy,
+    trace_sample: u64,
+    host_prof: Option<HostProf>,
+    mode: AdvanceMode,
+) -> SpansScenario {
     let cfg = AccelConfig::paper_big();
     let hard_w = Workload::compile(&cfg, &zoo::tiny(Shape3::new(3, 48, 48)).expect("hard net"));
     let be_w = Workload::compile(&cfg, &zoo::tiny(Shape3::new(3, 96, 96)).expect("be net"));
@@ -181,6 +200,7 @@ pub fn serve_spans_scenario(
 
     let pool = CorePool::new(1, cfg, strategy, TimingBackend::new);
     let mut gw = Gateway::new(pool, SchedPolicy::FixedPriority, PlacePolicy::LeastLoaded);
+    gw.set_advance_mode(mode);
     gw.set_batch_window(be_span / 8);
     gw.set_max_batch(4);
     gw.set_trace_sample(trace_sample);

@@ -344,10 +344,13 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
     }
 
     fn drain_engine_completions(&mut self) {
-        let report = self.engine.report();
-        let new = &report.completed_jobs[self.consumed_completions..];
+        // A copy of just the new records (not a full report clone): the
+        // routing below needs `&mut self` while iterating.
+        let new: Vec<JobRecord> =
+            self.engine.completed_jobs()[self.consumed_completions..].to_vec();
         let mut sched = self.sched.take();
-        for rec in new {
+        self.consumed_completions += new.len();
+        for rec in &new {
             // Scheduler-bound jobs are routed by logical task; raw
             // submissions fall through to the per-slot waiting queues.
             let routed = match sched.as_mut().and_then(|s| s.note_completion(rec)) {
@@ -383,7 +386,6 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
             }
         }
         self.sched = sched;
-        self.consumed_completions = report.completed_jobs.len();
     }
 
     /// Lets the installed scheduler bind queued jobs to freed slots.
@@ -519,7 +521,16 @@ impl<M: Clone, B: Backend> Runtime<M, B> {
     /// without one, the engine runs straight through (keeping the event
     /// stream byte-identical to pre-scheduler builds).
     fn advance_engine(&mut self, horizon: u64) -> Result<(), SimError> {
-        if self.sched.is_some() {
+        if let Some(s) = self.sched.as_ref() {
+            // Event-driven skip: with nothing outstanding in the
+            // scheduler and a quiescent engine, the pump/advance/drain
+            // round-trip is provably a state no-op (empty queues accrue
+            // no tokens, the engine's clock does not move, there are no
+            // new completions) — the same wake rule the CorePool event
+            // engine applies per core.
+            if s.outstanding() == 0 && self.engine.next_event().is_none() {
+                return Ok(());
+            }
             loop {
                 self.pump_sched()?;
                 let hit_completion = self.engine.run_until_complete(horizon)?;

@@ -886,8 +886,7 @@ impl<B: Backend> ScheduledEngine<B> {
         loop {
             self.sched.pump(self.engine.now(), &mut self.engine)?;
             let hit_completion = self.engine.run_until_complete(deadline)?;
-            let records: Vec<JobRecord> =
-                self.engine.report().completed_jobs[self.consumed..].to_vec();
+            let records: Vec<JobRecord> = self.engine.completed_jobs()[self.consumed..].to_vec();
             self.consumed += records.len();
             for rec in &records {
                 if let Some(c) = self.sched.note_completion(rec) {

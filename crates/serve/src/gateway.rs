@@ -11,7 +11,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
-use inca_accel::{Backend, CoreId, CorePool, JobRecord, SimError};
+use inca_accel::{AdvanceMode, AdvanceStats, Backend, CoreId, CorePool, JobRecord, SimError};
 use inca_obs::{
     request_detail, request_span_id, span_id, HostComponent, HostProf, Metrics, SpanStage,
     TraceEvent, Tracer,
@@ -118,6 +118,10 @@ pub struct Gateway<B: Backend> {
     trace_sample: u64,
     /// Wall-clock self-profiler (never affects deterministic outputs).
     host_prof: Option<HostProf>,
+    /// Event-driven (default) or cycle-box legacy core advancement.
+    mode: AdvanceMode,
+    /// Event-engine work counters (barriers, wakes, skips).
+    stats: AdvanceStats,
 }
 
 impl<B: Backend> Gateway<B> {
@@ -162,7 +166,33 @@ impl<B: Backend> Gateway<B> {
             tracer: Tracer::disabled(),
             trace_sample: 0,
             host_prof: None,
+            mode: AdvanceMode::default(),
+            stats: AdvanceStats::default(),
         }
+    }
+
+    /// Selects how the run loop advances cores at each barrier:
+    /// [`AdvanceMode::EventDriven`] (the default) skips cores that are
+    /// provably quiescent — empty scheduler queues, nothing in flight, no
+    /// engine work — while [`AdvanceMode::Stepping`] is the cycle-box
+    /// legacy loop touching every core. Both produce byte-identical
+    /// responses, traces, metrics and spans.
+    pub fn set_advance_mode(&mut self, mode: AdvanceMode) {
+        self.mode = mode;
+    }
+
+    /// The advance mode in effect.
+    #[must_use]
+    pub fn advance_mode(&self) -> AdvanceMode {
+        self.mode
+    }
+
+    /// Event-engine work counters: barriers processed, cores ticked,
+    /// quiescent cores skipped. Deterministic (never fed by wall clock),
+    /// so the `fig_event_engine` bench gates on them exactly.
+    #[must_use]
+    pub fn advance_stats(&self) -> AdvanceStats {
+        self.stats
     }
 
     /// Sets the batch window in cycles (how long a lone best-effort
@@ -571,16 +601,35 @@ impl<B: Backend> Gateway<B> {
             // yet) fires at the gateway clock instead: a batch is never
             // dispatched before one of its requests arrived.
             let fire = cycle.max(self.now);
-            for core in 0..self.scheds.len() {
-                self.advance_core(core, fire.min(deadline))?;
-            }
+            self.advance_all(fire.min(deadline))?;
             let Reverse((_, net, _)) = self.flushes.pop().expect("peeked flush exists");
             self.now = self.now.max(fire);
             self.flush_net(fire, net);
         }
         self.now = self.now.max(deadline);
+        self.advance_all(deadline)
+    }
+
+    /// Advances every core to `barrier`. Event-driven mode skips cores
+    /// whose advance is provably a state no-op: the scheduler has nothing
+    /// outstanding (so its pump cannot bind, and token accrual — which
+    /// only touches tasks with queued jobs — cannot move) and the engine
+    /// reports no next event (so `run_until` returns without touching
+    /// its clock). Everything else matches the stepping loop exactly,
+    /// including visiting cores in ascending core order so merged trace
+    /// streams stay byte-identical.
+    fn advance_all(&mut self, barrier: u64) -> Result<(), SimError> {
+        self.stats.barriers += 1;
         for core in 0..self.scheds.len() {
-            self.advance_core(core, deadline)?;
+            if self.mode == AdvanceMode::EventDriven
+                && self.scheds[core].outstanding() == 0
+                && self.pool.core(CoreId(core)).next_event().is_none()
+            {
+                self.stats.skips += 1;
+                continue;
+            }
+            self.stats.wakes += 1;
+            self.advance_core(core, barrier)?;
         }
         Ok(())
     }
@@ -628,8 +677,7 @@ impl<B: Backend> Gateway<B> {
             let now = engine.now();
             self.scheds[core].pump(now, engine)?;
             let hit_completion = engine.run_until_complete(deadline)?;
-            let records: Vec<JobRecord> =
-                engine.report().completed_jobs[self.consumed[core]..].to_vec();
+            let records: Vec<JobRecord> = engine.completed_jobs()[self.consumed[core]..].to_vec();
             self.consumed[core] += records.len();
             for rec in &records {
                 if let Some(c) = self.scheds[core].note_completion(rec) {

@@ -70,4 +70,5 @@ pub use live::{LiveConfig, LiveError, LiveReport, LiveServer, RESPONSE_TOPIC};
 pub use place::PlacePolicy;
 pub use request::{Lane, RequestId, Response, ShedReason, TenantId, TenantSpec, TenantStats};
 
+pub use inca_accel::{AdvanceMode, AdvanceStats};
 pub use inca_runtime::{DropPolicy, SchedPolicy};

@@ -10,12 +10,15 @@
 # `inca_obs::analyze::baseline::default_rules`).
 #
 #   scripts/bench_gate.sh             # full gate: func + func_tiers + sched
-#                                     #   + serve + dslam + spans, plus the
-#                                     #   tier-1 MobileNet speedup floor (>= 5x)
+#                                     #   + serve + dslam + spans + event, plus
+#                                     #   the tier-1 MobileNet speedup floor
+#                                     #   (>= 5x) and the event-engine fleet
+#                                     #   speedup floor (>= 10x)
 #   scripts/bench_gate.sh --quick     # deterministic bins only (func_tiers +
-#                                     #   sched + serve + dslam + spans): skips
-#                                     #   perf_smoke, whose wall-clock
-#                                     #   throughput needs a quiet machine
+#                                     #   sched + serve + dslam + spans +
+#                                     #   event): skips perf_smoke, whose
+#                                     #   wall-clock throughput needs a quiet
+#                                     #   machine
 #   scripts/bench_gate.sh --refresh   # regenerate the committed baselines
 #                                     #   (rerun after an intentional perf or
 #                                     #   metrics change, then commit)
@@ -36,14 +39,16 @@ gates() {
             "sched BENCH_sched.json fig_sched_load" \
             "serve BENCH_serve.json fig_serve_load" \
             "dslam BENCH_dslam.json fig_dslam_mission" \
-            "spans BENCH_spans.json spans" ;;
+            "spans BENCH_spans.json spans" \
+            "event BENCH_event.json fig_event_engine" ;;
         *) printf '%s\n' \
             "func BENCH_func.json perf_smoke" \
             "func_tiers BENCH_func_tiers.json fig_func_tiers" \
             "sched BENCH_sched.json fig_sched_load" \
             "serve BENCH_serve.json fig_serve_load" \
             "dslam BENCH_dslam.json fig_dslam_mission" \
-            "spans BENCH_spans.json spans" ;;
+            "spans BENCH_spans.json spans" \
+            "event BENCH_event.json fig_event_engine" ;;
     esac
 }
 
@@ -59,6 +64,29 @@ s = snap["gauges"]["mobilenet_v1_96x96.tier1_speedup"]
 if s < 5.0:
     sys.exit(f"bench gate: tier-1 MobileNet speedup {s:.2f}x is below the 5x floor")
 print(f"bench gate: tier-1 MobileNet speedup {s:.2f}x (floor 5x) ok")
+EOF
+}
+
+# The event-engine acceptance floor: discrete-event advancement must
+# hold >= 10x over cycle-box stepping on the mostly-idle 64-core fleet
+# (DESIGN.md §5.8). Like the tier floor, checked against the freshly
+# measured snapshot so a regression is caught even inside the generous
+# wall-clock gauge tolerance. The skips counter must also be live — a
+# starved wake heap (event mode silently stepping everything) would keep
+# outputs identical while erasing the entire point of the engine.
+check_event_floor() { # fig_event_engine.json -> exit 1 if below floor
+    python3 - "$1" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+s = snap["gauges"]["event.fleet64.speedup"]
+skips = snap["counters"]["event.fleet64.skips"]
+if skips == 0:
+    sys.exit("bench gate: event engine skipped nothing on a mostly-idle "
+             "fleet - the wake heap is starved")
+if s < 10.0:
+    sys.exit(f"bench gate: event-engine fleet speedup {s:.2f}x is below the 10x floor")
+print(f"bench gate: event-engine fleet speedup {s:.2f}x (floor 10x), "
+      f"{skips} ticks skipped ok")
 EOF
 }
 
@@ -174,6 +202,31 @@ EOF
             echo "bench gate selftest: FAILED — spans queue-share regression was not flagged" >&2
             exit 1
         fi
+        # Fixture 6: a fresh fig_event_engine snapshot with an injected
+        # heap starvation — the skips counter zeroed (every tick "ran")
+        # and the fleet speedup collapsed to 1x, which is exactly what a
+        # wake heap that never disarms anything looks like. Both the
+        # exact-match counters and the explicit floor must trip.
+        run_bin fig_event_engine
+        python3 - "$tmp/fig_event_engine.json" "$tmp/event_starved.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+c = snap["counters"]
+c["event.fleet64.wakes"] += c["event.fleet64.skips"]
+c["event.fleet64.skips"] = 0
+snap["gauges"]["event.fleet64.speedup"] = 1.0
+json.dump(snap, open(sys.argv[2], "w"), separators=(",", ":"))
+EOF
+        ./target/release/inca-analyze --gate "$tmp/fig_event_engine.json" "$tmp/fig_event_engine.json"
+        check_event_floor "$tmp/fig_event_engine.json"
+        if ./target/release/inca-analyze --gate "$tmp/fig_event_engine.json" "$tmp/event_starved.json"; then
+            echo "bench gate selftest: FAILED — event-heap starvation was not flagged" >&2
+            exit 1
+        fi
+        if check_event_floor "$tmp/event_starved.json"; then
+            echo "bench gate selftest: FAILED — starved skips counter passed the floor check" >&2
+            exit 1
+        fi
         echo "bench gate selftest: ok (identity passes, injected regressions trip)"
         ;;
     full|--quick)
@@ -188,6 +241,9 @@ EOF
             ./target/release/inca-analyze --gate "$baseline" "$tmp/$bin.json" || fail=1
             if [ "$name" = "func" ]; then
                 check_tier_floor "$tmp/$bin.json" || fail=1
+            fi
+            if [ "$name" = "event" ]; then
+                check_event_floor "$tmp/$bin.json" || fail=1
             fi
         done < <(gates "$sel")
         if [ "$fail" -ne 0 ]; then

@@ -17,6 +17,12 @@ cd "$(dirname "$0")/.."
 : "${INCA_PROP_CASES:=48}"
 export INCA_PROP_CASES
 
+# The event-engine differential proptests (crates/accel/tests/
+# event_props.rs) run whole multi-core sims per case, so they get their
+# own, lower pin; they fall back to INCA_PROP_CASES when unset.
+: "${INCA_EVENT_PROP_CASES:=24}"
+export INCA_EVENT_PROP_CASES
+
 echo "== cargo fmt --check"
 cargo fmt --all --check
 

@@ -1,0 +1,297 @@
+//! The event-engine acceptance bar: a discrete-event advance
+//! ([`AdvanceMode::EventDriven`], the default) must be **byte-identical**
+//! to the legacy cycle-box stepping loop ([`AdvanceMode::Stepping`]) on
+//! every observable surface — DDR output bytes, merged trace streams
+//! (including request-tagged span trees), metrics snapshots, per-core
+//! reports and mid-run clock/metrics snapshots — across all four
+//! interrupt strategies, 1–8 core pools, the serving gateway, and the
+//! bench crate's canonical spans scenario.
+//!
+//! The only permitted difference is *work*: on pools with idle cores the
+//! event engine must actually skip them ([`AdvanceStats::skips`] > 0).
+
+use std::sync::Arc;
+
+use inca::accel::{
+    AccelConfig, AdvanceMode, AdvanceStats, CoreId, CorePool, DdrImage, Engine, FuncBackend,
+    InterruptStrategy, Report,
+};
+use inca::compiler::Compiler;
+use inca::isa::{Program, TaskSlot};
+use inca::model::{zoo, Shape3};
+use inca::obs::{MetricsSnapshot, TraceEvent, Tracer};
+use inca::serve::{Gateway, PlacePolicy, SchedPolicy, TenantSpec};
+use inca_bench::{serve_spans_scenario_with_mode, SpansScenario};
+
+const STRATEGIES: [InterruptStrategy; 4] = [
+    InterruptStrategy::NonPreemptive,
+    InterruptStrategy::CpuLike,
+    InterruptStrategy::LayerByLayer,
+    InterruptStrategy::VirtualInstruction,
+];
+
+fn cfg() -> AccelConfig {
+    AccelConfig::paper_small()
+}
+
+fn compile(strategy: InterruptStrategy, net: &inca::model::Network) -> Arc<Program> {
+    let compiler = Compiler::new(cfg().arch);
+    Arc::new(match strategy {
+        InterruptStrategy::VirtualInstruction => compiler.compile_vi(net).unwrap(),
+        _ => compiler.compile(net).unwrap(),
+    })
+}
+
+/// Deterministic low-magnitude input so tiled and golden sums agree
+/// exactly (same idiom as the accel transparency suite).
+fn image_with_input(program: &Program, seed: u64) -> DdrImage {
+    let mut img = DdrImage::for_program(program, seed);
+    let first = &program.layers[0];
+    let n = first.in_shape.bytes();
+    let data: Vec<u8> = (0..n).map(|i| ((i * 7 + 3) % 15) as u8).collect();
+    img.write(first.input_addr, &data);
+    img
+}
+
+/// Every layer's DDR output bytes for one program.
+type LayerOutputs = Vec<Vec<i8>>;
+
+fn all_outputs(program: &Program, image: &DdrImage) -> LayerOutputs {
+    program.layers.iter().map(|m| image.read_output(m)).collect()
+}
+
+fn makespan(strategy: InterruptStrategy, program: &Arc<Program>) -> u64 {
+    let slot = TaskSlot::new(3).unwrap();
+    let mut e = Engine::new(cfg(), strategy, inca::accel::TimingBackend::new());
+    e.load(slot, Arc::clone(program)).unwrap();
+    e.request_at(0, slot).unwrap();
+    e.run().unwrap().completed_jobs[0].finish
+}
+
+/// Everything a pool run can observably produce, snapshotted mid-run and
+/// at the end. Two runs are "the same run" iff these compare equal.
+#[derive(Debug, PartialEq)]
+struct PoolObservables {
+    /// At each intermediate barrier: (per-core clock, per-core metrics JSON).
+    mid: Vec<(Vec<u64>, Vec<String>)>,
+    reports: Vec<Report>,
+    metrics_json: Vec<String>,
+    trace: Vec<TraceEvent>,
+    /// Per active core: DDR outputs of the lo and hi programs.
+    outputs: Vec<(LayerOutputs, LayerOutputs)>,
+}
+
+/// The pool-direct scenario: `cores` functional cores share one tracer;
+/// every *even* core runs a tagged lo job preempted mid-flight by a
+/// tagged hi job (so span trees and interrupts land in the stream), odd
+/// cores stay idle the whole run. Advanced through two mid-run barriers,
+/// then to quiescence.
+fn pool_run(
+    strategy: InterruptStrategy,
+    cores: usize,
+    mode: AdvanceMode,
+) -> (PoolObservables, AdvanceStats) {
+    let lo_prog = compile(strategy, &zoo::tiny(Shape3::new(3, 24, 24)).unwrap());
+    let hi_prog = compile(strategy, &zoo::tiny(Shape3::new(3, 16, 16)).unwrap());
+    let span = makespan(strategy, &lo_prog);
+    let (lo, hi) = (TaskSlot::new(3).unwrap(), TaskSlot::new(1).unwrap());
+
+    let (tracer, buf) = Tracer::ring(1 << 16);
+    let engines: Vec<Engine<FuncBackend>> = (0..cores)
+        .map(|c| {
+            let mut e = Engine::new(cfg(), strategy, FuncBackend::new());
+            e.set_span_core(c as u32);
+            e.set_tracer(tracer.clone());
+            e.load(lo, Arc::clone(&lo_prog)).unwrap();
+            e.load(hi, Arc::clone(&hi_prog)).unwrap();
+            e.backend_mut().install_image(lo, image_with_input(&lo_prog, 1_000 + c as u64));
+            e.backend_mut().install_image(hi, image_with_input(&hi_prog, 9_000 + c as u64));
+            e
+        })
+        .collect();
+    let mut pool = CorePool::from_engines(engines);
+    pool.set_advance_mode(mode);
+
+    let active: Vec<usize> = (0..cores).step_by(2).collect();
+    for (i, &c) in active.iter().enumerate() {
+        let e = pool.core_mut(CoreId(c));
+        // Stagger the work so equal-wake ties AND distinct wakes both occur.
+        e.request_job_tagged(c as u64 * 100, lo, 0, 0, Some(1 + i as u64)).unwrap();
+        e.request_job_tagged(span / 3 + c as u64 * 100, hi, 0, 0, Some(100 + i as u64)).unwrap();
+    }
+
+    let mut mid = Vec::new();
+    for barrier in [span / 4, span / 2] {
+        pool.run_until(barrier).unwrap();
+        let nows: Vec<u64> = pool.core_ids().map(|c| pool.core(c).now()).collect();
+        let json: Vec<String> = pool
+            .core_ids()
+            .map(|c| MetricsSnapshot::new(format!("core{}", c.0), pool.core(c).metrics()).to_json())
+            .collect();
+        mid.push((nows, json));
+    }
+    pool.run_until(u64::MAX).unwrap();
+
+    let outputs = active
+        .iter()
+        .map(|&c| {
+            let b = pool.core(CoreId(c)).backend();
+            (
+                all_outputs(&lo_prog, b.image(lo).unwrap()),
+                all_outputs(&hi_prog, b.image(hi).unwrap()),
+            )
+        })
+        .collect();
+    let metrics_json = pool
+        .core_ids()
+        .map(|c| MetricsSnapshot::new(format!("core{}", c.0), pool.core(c).metrics()).to_json())
+        .collect();
+    let obs =
+        PoolObservables { mid, reports: pool.reports(), metrics_json, trace: buf.drain(), outputs };
+    (obs, pool.advance_stats())
+}
+
+#[test]
+fn pool_runs_are_byte_identical_across_modes() {
+    for strategy in STRATEGIES {
+        for cores in [1usize, 2, 4, 8] {
+            let (ev, ev_stats) = pool_run(strategy, cores, AdvanceMode::EventDriven);
+            let (st, st_stats) = pool_run(strategy, cores, AdvanceMode::Stepping);
+            assert_eq!(ev, st, "{strategy}/{cores}c: event-driven and stepping runs diverge");
+            assert!(!ev.trace.is_empty(), "{strategy}/{cores}c: scenario emits trace events");
+            let completed: usize = ev.reports.iter().map(|r| r.completed_jobs.len()).sum();
+            assert_eq!(completed, cores.div_ceil(2) * 2, "{strategy}/{cores}c: all jobs done");
+            if cores >= 2 {
+                assert!(
+                    ev_stats.skips > 0,
+                    "{strategy}/{cores}c: idle cores must be skipped, got {ev_stats:?}"
+                );
+                assert!(
+                    ev_stats.skips > st_stats.skips,
+                    "{strategy}/{cores}c: event mode must out-skip stepping"
+                );
+            }
+            // Stepping visits every registered core at every barrier.
+            assert_eq!(st_stats.wakes + st_stats.skips, st_stats.barriers * cores as u64);
+        }
+    }
+}
+
+/// Everything a gateway run can observably produce.
+#[derive(Debug, PartialEq)]
+struct GatewayObservables {
+    responses: Vec<inca::serve::Response>,
+    metrics_json: String,
+    trace: Vec<TraceEvent>,
+    reports: Vec<Report>,
+    outputs: Vec<LayerOutputs>,
+}
+
+/// The serving scenario from the serve differential suite — admission,
+/// batching, placement, slot-virtualizing schedulers, hard-lane
+/// preemption — run under an explicit advance mode.
+fn gateway_run(
+    strategy: InterruptStrategy,
+    cores: usize,
+    mode: AdvanceMode,
+) -> (GatewayObservables, AdvanceStats) {
+    let lo_prog = compile(strategy, &zoo::tiny(Shape3::new(3, 32, 32)).unwrap());
+    let mid_prog = compile(strategy, &zoo::tiny(Shape3::new(3, 24, 24)).unwrap());
+    let hi_prog = compile(strategy, &zoo::tiny(Shape3::new(3, 16, 16)).unwrap());
+
+    // (name, program, weight, hard, seed)
+    let plan: [(&str, &Arc<Program>, u8, bool, u64); 5] = [
+        ("bg0", &lo_prog, 3, false, 1_007),
+        ("bg1", &lo_prog, 3, false, 2_007),
+        ("mid0", &mid_prog, 2, false, 3_007),
+        ("mid1", &mid_prog, 2, false, 4_007),
+        ("estop", &hi_prog, 0, true, 5_007),
+    ];
+
+    let pool = CorePool::new(cores, cfg(), strategy, FuncBackend::new);
+    let mut gw = Gateway::new(pool, SchedPolicy::FixedPriority, PlacePolicy::LeastLoaded);
+    gw.set_advance_mode(mode);
+    gw.set_batch_window(5_000);
+    let (tracer, buf) = Tracer::ring(1 << 16);
+    gw.set_tracer(tracer);
+    let tenants: Vec<_> = plan
+        .iter()
+        .map(|(name, program, weight, hard, _)| {
+            let mut spec = TenantSpec::new(*name, Arc::clone(program)).weight(*weight);
+            if *hard {
+                spec = spec.hard(2_000_000_000);
+            }
+            gw.register(spec)
+        })
+        .collect();
+    for core in 0..cores {
+        for (t, (_, program, _, _, seed)) in tenants.iter().zip(plan.iter()) {
+            gw.pool_mut()
+                .core_mut(CoreId(core))
+                .backend_mut()
+                .install_ctx_image(t.ctx(), image_with_input(program, *seed));
+        }
+    }
+
+    let span = makespan(strategy, &lo_prog);
+    gw.submit(0, tenants[0]).unwrap();
+    gw.submit(0, tenants[1]).unwrap();
+    gw.run_until(span / 4).unwrap();
+    gw.submit(span / 4, tenants[2]).unwrap();
+    gw.submit(span / 4, tenants[3]).unwrap();
+    gw.run_until(span / 2).unwrap();
+    gw.submit(span / 2, tenants[4]).unwrap();
+    gw.run_to_idle(u64::MAX).unwrap();
+
+    let responses = gw.drain_responses();
+    assert_eq!(responses.len(), 5, "{strategy}/{cores}c/{mode}: all requests answered");
+    let outputs = responses
+        .iter()
+        .map(|r| {
+            let t = r.tenant;
+            let program = Arc::clone(&gw.spec(t).program);
+            let core = r.core.expect("executed requests carry their core");
+            all_outputs(&program, gw.pool().core(core).backend().ctx_image(t.ctx()).unwrap())
+        })
+        .collect();
+    let obs = GatewayObservables {
+        responses,
+        metrics_json: MetricsSnapshot::new("gw", gw.metrics()).to_json(),
+        trace: buf.drain(),
+        reports: gw.pool().reports(),
+        outputs,
+    };
+    let stats = gw.advance_stats();
+    (obs, stats)
+}
+
+#[test]
+fn gateway_runs_are_byte_identical_across_modes() {
+    for strategy in STRATEGIES {
+        for cores in [2usize, 4] {
+            let (ev, ev_stats) = gateway_run(strategy, cores, AdvanceMode::EventDriven);
+            let (st, _) = gateway_run(strategy, cores, AdvanceMode::Stepping);
+            assert_eq!(ev, st, "{strategy}/{cores}c: served runs diverge across modes");
+            assert!(!ev.trace.is_empty(), "{strategy}/{cores}c: gateway emits trace events");
+            assert!(
+                ev_stats.skips > 0,
+                "{strategy}/{cores}c: an event-driven gateway must skip quiescent cores, \
+                 got {ev_stats:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bench_canonical_spans_scenario_is_mode_invariant() {
+    for strategy in STRATEGIES {
+        let ev: SpansScenario =
+            serve_spans_scenario_with_mode(strategy, 1, None, AdvanceMode::EventDriven);
+        let st: SpansScenario =
+            serve_spans_scenario_with_mode(strategy, 1, None, AdvanceMode::Stepping);
+        assert_eq!(ev.events, st.events, "{strategy}: canonical span streams diverge");
+        assert_eq!(ev.dropped, st.dropped, "{strategy}");
+        assert_eq!(ev.responses, st.responses, "{strategy}");
+        assert!(ev.responses > 0 && !ev.events.is_empty(), "{strategy}: scenario is non-trivial");
+    }
+}
