@@ -26,6 +26,12 @@
 //! requests are tagged on every run) and report how many span events each
 //! part emitted. Ring overflow is loud: dropped events produce a stderr
 //! warning and a `trace.dropped` counter in the JSON snapshot.
+//!
+//! Pass `--timeline <interval-cycles>` to sample a cycle-domain timeline
+//! in every cell and write one `inca-obs/timeseries-v1` file per cell
+//! (`<cell>.timeseries.json` in the working directory). Frame-ring
+//! overflow follows the `trace.dropped` idiom: a loud stderr warning per
+//! affected cell and a `timeline.dropped` counter in the JSON snapshot.
 
 use std::sync::Arc;
 
@@ -33,7 +39,7 @@ use inca_accel::{AccelConfig, CorePool, Engine, InterruptStrategy, TimingBackend
 use inca_compiler::Compiler;
 use inca_isa::{Program, TaskSlot};
 use inca_model::{zoo, Network, Shape3};
-use inca_obs::{Metrics, MetricsSnapshot, TraceBuffer, TraceEvent, Tracer};
+use inca_obs::{Metrics, MetricsSnapshot, TimeSeries, TraceBuffer, TraceEvent, Tracer};
 use inca_serve::{DropPolicy, Gateway, PlacePolicy, SchedPolicy, TenantId, TenantSpec};
 
 /// Exponential quantiles at the midpoints of 16 equiprobable bins, in
@@ -119,6 +125,7 @@ struct IsoCell {
     be_shed: u64,
     span_events: u64,
     trace_dropped: u64,
+    timeline: Option<TimeSeries>,
 }
 
 /// One part-A cell: a hard tenant probed `rounds` times on one core while
@@ -128,6 +135,7 @@ fn run_iso_cell(
     be_per_round: usize,
     rounds: u64,
     trace_sample: u64,
+    timeline: Option<u64>,
 ) -> IsoCell {
     let hard_prog = compile(strategy, &zoo::tiny(Shape3::new(3, 48, 48)).unwrap());
     let be_prog = compile(strategy, &zoo::tiny(Shape3::new(3, 96, 96)).unwrap());
@@ -136,6 +144,9 @@ fn run_iso_cell(
     let pool = CorePool::new(1, cfg(), strategy, TimingBackend::new);
     let mut gw = Gateway::new(pool, SchedPolicy::FixedPriority, PlacePolicy::LeastLoaded);
     gw.set_batch_window(1_000);
+    if let Some(interval) = timeline {
+        gw.enable_timeline(interval, 4096);
+    }
     let buf = attach_tracer(&mut gw, trace_sample);
     let hard = gw.register(
         TenantSpec::new("estop", Arc::clone(&hard_prog))
@@ -174,6 +185,7 @@ fn run_iso_cell(
         .collect();
     let be_stats = gw.stats(be);
     let (span_events, trace_dropped) = span_counts(buf);
+    let timeline = gw.take_timeline(&format!("iso.{strategy}.load{be_per_round}"));
     IsoCell {
         strategy,
         be_per_round,
@@ -183,6 +195,7 @@ fn run_iso_cell(
         be_shed: be_stats.shed + be_stats.dropped,
         span_events,
         trace_dropped,
+        timeline,
     }
 }
 
@@ -199,11 +212,17 @@ struct ScaleCell {
     throughput_jobs_per_s: f64,
     span_events: u64,
     trace_dropped: u64,
+    timeline: Option<TimeSeries>,
 }
 
 /// One part-B cell: the same deterministic arrival stream served on
 /// `cores` cores under `place`.
-fn run_scale_cell(cores: usize, place: PlacePolicy, trace_sample: u64) -> ScaleCell {
+fn run_scale_cell(
+    cores: usize,
+    place: PlacePolicy,
+    trace_sample: u64,
+    timeline: Option<u64>,
+) -> ScaleCell {
     let strategy = InterruptStrategy::VirtualInstruction;
     let small = compile(strategy, &zoo::tiny(Shape3::new(3, 24, 24)).unwrap());
     let large = compile(strategy, &zoo::tiny(Shape3::new(3, 48, 48)).unwrap());
@@ -212,6 +231,9 @@ fn run_scale_cell(cores: usize, place: PlacePolicy, trace_sample: u64) -> ScaleC
     let pool = CorePool::new(cores, cfg(), strategy, TimingBackend::new);
     let mut gw = Gateway::new(pool, SchedPolicy::FixedPriority, place);
     gw.set_batch_window(mean_gap);
+    if let Some(interval) = timeline {
+        gw.enable_timeline(interval, 4096);
+    }
     let buf = attach_tracer(&mut gw, trace_sample);
     let tenants: Vec<TenantId> = (0..6)
         .map(|i| {
@@ -250,6 +272,7 @@ fn run_scale_cell(cores: usize, place: PlacePolicy, trace_sample: u64) -> ScaleC
     let makespan = gw.drain_responses().iter().map(|r| r.finish).max().unwrap_or(0);
     let seconds = cfg().cycles_to_us(makespan.max(1)) / 1e6;
     let (span_events, trace_dropped) = span_counts(buf);
+    let timeline = gw.take_timeline(&format!("scale.c{cores}.{place}"));
     ScaleCell {
         cores,
         place,
@@ -261,6 +284,7 @@ fn run_scale_cell(cores: usize, place: PlacePolicy, trace_sample: u64) -> ScaleC
         throughput_jobs_per_s: totals.completed as f64 / seconds,
         span_events,
         trace_dropped,
+        timeline,
     }
 }
 
@@ -281,6 +305,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(0);
+    let timeline = args
+        .iter()
+        .position(|a| a == "--timeline")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok());
 
     let strategies = [
         InterruptStrategy::VirtualInstruction,
@@ -291,7 +320,7 @@ fn main() {
     let iso: Vec<IsoCell> = strategies
         .iter()
         .flat_map(|&s| loads.iter().map(move |&l| (s, l)))
-        .map(|(s, l)| run_iso_cell(s, l, rounds, trace_sample))
+        .map(|(s, l)| run_iso_cell(s, l, rounds, trace_sample, timeline))
         .collect();
 
     let core_counts = [1usize, 2, 4, 8];
@@ -299,12 +328,36 @@ fn main() {
     let scale: Vec<ScaleCell> = core_counts
         .iter()
         .flat_map(|&c| policies.iter().map(move |&p| (c, p)))
-        .map(|(c, p)| run_scale_cell(c, p, trace_sample))
+        .map(|(c, p)| run_scale_cell(c, p, trace_sample, timeline))
         .collect();
     let span_events: u64 =
         iso.iter().map(|c| c.span_events).chain(scale.iter().map(|c| c.span_events)).sum();
     let trace_dropped: u64 =
         iso.iter().map(|c| c.trace_dropped).chain(scale.iter().map(|c| c.trace_dropped)).sum();
+
+    // One timeseries-v1 file per cell. Ring overflow is LOUD, per cell,
+    // mirroring the trace.dropped idiom: a truncated series must never
+    // pass silently as a complete one.
+    let cell_series: Vec<&TimeSeries> = iso
+        .iter()
+        .filter_map(|c| c.timeline.as_ref())
+        .chain(scale.iter().filter_map(|c| c.timeline.as_ref()))
+        .collect();
+    let timeline_dropped: u64 = cell_series.iter().map(|s| s.dropped).sum();
+    for s in &cell_series {
+        let path = format!("{}.timeseries.json", s.name);
+        if let Err(e) = std::fs::write(&path, s.to_json()) {
+            eprintln!("ERROR: writing {path}: {e}");
+            std::process::exit(2);
+        }
+        if s.dropped > 0 {
+            eprintln!(
+                "WARNING: timeline ring overflowed in cell {} — {} frame(s) dropped; \
+                 {path} holds an INCOMPLETE series",
+                s.name, s.dropped
+            );
+        }
+    }
 
     if json {
         let mut m = Metrics::new();
@@ -326,6 +379,11 @@ fn main() {
         }
         if trace_sample > 0 {
             m.inc("trace.span_events", span_events);
+        }
+        if timeline.is_some() {
+            m.inc("timeline.files", cell_series.len() as u64);
+            m.inc("timeline.frames", cell_series.iter().map(|s| s.len() as u64).sum());
+            m.inc("timeline.dropped", timeline_dropped);
         }
         let mut snap = MetricsSnapshot::new("fig_serve_load", m);
         if trace_sample > 0 {
@@ -374,6 +432,14 @@ fn main() {
             c.reloads,
             c.makespan,
             c.throughput_jobs_per_s,
+        );
+    }
+    if timeline.is_some() {
+        println!(
+            "\ntimeline: wrote {} timeseries-v1 file(s), {} frame(s) total, {} dropped",
+            cell_series.len(),
+            cell_series.iter().map(|s| s.len()).sum::<usize>(),
+            timeline_dropped,
         );
     }
     if trace_sample > 0 {

@@ -30,12 +30,23 @@
 //!   can diff against `BENCH_spans.json`. SLO specs may use the lane
 //!   selectors (`hard=queue_share:<0.2`). A trace file containing span
 //!   events gets the same treatment in file mode.
+//! * **timeline**: `inca-analyze --timeline [--strategy S]
+//!   [--inject-spike] [--export FILE] [--trace FILE] [--slo SPEC]...
+//!   [--json]` — runs the canonical serve-timeline scenario with the
+//!   cycle-domain sampler and an armed flight recorder
+//!   (`hard=depth:4`), renders one sparkline per timeseries column plus
+//!   per-frame SLO-over-time verdict strips, exports the
+//!   `timeseries-v1` series (`--export`), writes the recorder's
+//!   violation-window Chrome trace when it tripped (`--trace`), and with
+//!   `--json` emits the `metrics-v1` snapshot the regression gate diffs
+//!   against `BENCH_timeline.json`. `--inject-spike` adds the hard-lane
+//!   queue-depth burst and exits 1 if the recorder does not trip.
 
-use inca_accel::{analysis, InterruptStrategy};
-use inca_bench::serve_spans_scenario;
+use inca_accel::{analysis, AdvanceMode, InterruptStrategy};
+use inca_bench::{serve_spans_scenario, serve_timeline_scenario};
 use inca_dslam::mission::{Mission, MissionConfig};
 use inca_obs::analyze::{self, Analyzer, SloSpec, T2Model, TaskSel};
-use inca_obs::{Metrics, MetricsSnapshot};
+use inca_obs::{spark, Metrics, MetricsSnapshot};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -43,7 +54,8 @@ const USAGE: &str = "usage:
   inca-analyze --mission [--seconds N] [--strategy S|all] [--trace FILE] [--slo SPEC]... [--json]
   inca-analyze --gate <baseline.json> <fresh.json>
   inca-analyze --spans [--strategy S] [--trace-sample N] [--quantile Q] [--trace FILE] [--slo SPEC]... [--json]
-SLO spec: name=50ms or name=deadline:50ms+latency:200us+queue:1ms+jobs:N+miss:0.01+period:50ms
+  inca-analyze --timeline [--strategy S] [--inject-spike] [--export FILE] [--trace FILE] [--slo SPEC]... [--json]
+SLO spec: name=50ms or name=deadline:50ms+latency:200us+queue:1ms+depth:N+jobs:N+miss:0.01+period:50ms
           (names: fe, pr, slotN, taskN, hard, be; units cy/us/ms/s;
            span clauses: queue_share:<0.2 batch_share:… reload_share:… preempt_share:…)";
 
@@ -53,6 +65,9 @@ const ALIASES: [(&str, TaskSel); 2] = [("fe", TaskSel::Slot(1)), ("pr", TaskSel:
 struct Args {
     mission: bool,
     spans: bool,
+    timeline: bool,
+    inject_spike: bool,
+    export: Option<String>,
     gate: Option<(String, String)>,
     trace_out: Option<String>,
     file: Option<String>,
@@ -68,6 +83,9 @@ fn parse_args() -> Result<Args, String> {
     let mut out = Args {
         mission: false,
         spans: false,
+        timeline: false,
+        inject_spike: false,
+        export: None,
         gate: None,
         trace_out: None,
         file: None,
@@ -102,6 +120,9 @@ fn parse_args() -> Result<Args, String> {
             "--strategy" => out.strategy = Some(value(&mut i, "--strategy")?),
             "--trace" => out.trace_out = Some(value(&mut i, "--trace")?),
             "--spans" => out.spans = true,
+            "--timeline" => out.timeline = true,
+            "--inject-spike" => out.inject_spike = true,
+            "--export" => out.export = Some(value(&mut i, "--export")?),
             "--trace-sample" => {
                 out.trace_sample = value(&mut i, "--trace-sample")?
                     .parse()
@@ -353,6 +374,91 @@ fn spans_mode(args: &Args) -> Result<ExitCode, String> {
     Ok(if slo_ok { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
 
+fn timeline_mode(args: &Args) -> Result<ExitCode, String> {
+    let strategy = match parse_strategy(args.strategy.as_deref().unwrap_or("virtual-instruction"))?
+        .as_slice()
+    {
+        [one] => *one,
+        _ => return Err("--timeline takes a single strategy, not `all`".to_owned()),
+    };
+    let run = serve_timeline_scenario(strategy, AdvanceMode::default(), 1, args.inject_spike);
+    if args.json {
+        // The deterministic metrics-v1 snapshot the regression gate diffs
+        // against BENCH_timeline.json.
+        println!("{}", run.metrics_json);
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let s = &run.series;
+    println!(
+        "== cycle-domain timeline ({strategy}, interval {} cy, {} frames, {} responses, \
+         recorder armed on {:?}) ==",
+        s.interval,
+        s.len(),
+        run.responses,
+        inca_bench::TIMELINE_SLO,
+    );
+    if s.dropped > 0 {
+        eprintln!(
+            "WARNING: timeline ring overflowed — {} frame(s) dropped; sparklines below \
+             cover an INCOMPLETE series",
+            s.dropped
+        );
+    }
+    let width = 60usize;
+    let label_w = s.columns.keys().map(String::len).max().unwrap_or(0);
+    for (name, vals) in &s.columns {
+        let max = vals.iter().copied().max().unwrap_or(0);
+        println!("{name:<label_w$} |{}| max {max}", spark(vals, width));
+    }
+    match &run.violation {
+        Some(v) => println!(
+            "flight recorder: TRIPPED at cycle {} — spec {} ({})",
+            v.cycle, v.spec, v.clause
+        ),
+        None => println!("flight recorder: armed, no violation"),
+    }
+
+    if let Some(path) = &args.export {
+        std::fs::write(path, s.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote timeseries-v1 series to {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        match &run.chrome_dump {
+            Some(dump) => {
+                std::fs::write(path, dump).map_err(|e| format!("write {path}: {e}"))?;
+                eprintln!("wrote flight-recorder Chrome trace to {path} (load in Perfetto)");
+            }
+            None => eprintln!("--trace: recorder did not trip; no violation window to write"),
+        }
+    }
+
+    // SLO-over-time: each spec is evaluated per frame; the strip resamples
+    // failing frames with the same bucket-max rule as the sparklines, so a
+    // single bad frame survives the compression.
+    let specs = parse_slos(&args.slo, s.clock_hz)?;
+    let mut slo_ok = true;
+    for spec in &specs {
+        let passes = s.eval_spec(spec);
+        let fails: Vec<u64> = passes.iter().map(|p| u64::from(!*p)).collect();
+        let failing = fails.iter().sum::<u64>();
+        println!(
+            "SLO timeline/{}: {} ({failing}/{} failing frames) |{}|",
+            spec.name,
+            if failing == 0 { "PASS" } else { "FAIL" },
+            passes.len(),
+            spark(&fails, width),
+        );
+        slo_ok &= failing == 0;
+    }
+
+    if args.inject_spike && run.violation.is_none() {
+        eprintln!("inject-spike: the flight recorder did NOT trip");
+        return Ok(ExitCode::from(1));
+    }
+    Ok(if slo_ok { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -363,6 +469,8 @@ fn main() -> ExitCode {
     };
     let result = if let Some((base, fresh)) = &args.gate {
         gate_mode(base, fresh)
+    } else if args.timeline {
+        timeline_mode(&args)
     } else if args.spans {
         spans_mode(&args)
     } else if args.mission {

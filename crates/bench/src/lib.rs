@@ -26,13 +26,14 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use inca_accel::{
-    AccelConfig, AdvanceMode, CorePool, Engine, InterruptEvent, InterruptStrategy, Program,
-    TimingBackend,
+    AccelConfig, AdvanceMode, CoreId, CorePool, DdrImage, Engine, FuncBackend, InterruptEvent,
+    InterruptStrategy, Program, TimingBackend,
 };
 use inca_compiler::Compiler;
 use inca_isa::TaskSlot;
 use inca_model::{zoo, Network, Shape3};
-use inca_obs::{HostProf, TraceEvent, Tracer};
+use inca_obs::analyze::SloSpec;
+use inca_obs::{timeline, HostProf, MetricsSnapshot, TimeSeries, TraceEvent, Tracer, Violation};
 use inca_serve::{DropPolicy, Gateway, PlacePolicy, SchedPolicy, TenantSpec};
 
 /// The paper's camera resolution.
@@ -236,6 +237,130 @@ pub fn serve_spans_scenario_with_mode(
     SpansScenario { dropped: buf.dropped(), events: buf.drain(), clock_hz: cfg.clock_hz, responses }
 }
 
+/// Outcome of the canonical timeline scenario
+/// ([`serve_timeline_scenario`]).
+#[derive(Debug)]
+pub struct TimelineRun {
+    /// The exported timeline (trailing partial frame flushed).
+    pub series: TimeSeries,
+    /// metrics-v1 snapshot of the gateway (includes `event.*` and
+    /// `timeline.*` counters).
+    pub metrics_json: String,
+    /// The flight-recorder violation, when one tripped.
+    pub violation: Option<Violation>,
+    /// Perfetto dump of the frozen recorder window (None = no trip).
+    pub chrome_dump: Option<String>,
+    /// timeseries-v1 slice of the frozen window, advance columns
+    /// stripped (None = no trip).
+    pub slice_dump: Option<String>,
+    /// Completed responses.
+    pub responses: u64,
+}
+
+/// The recorder spec the canonical timeline scenario arms: a hard-lane
+/// instantaneous queue-depth bound.
+pub const TIMELINE_SLO: &str = "hard=depth:4";
+
+/// The canonical cycle-domain timeline scenario: two functional cores
+/// behind the gateway, a hard-deadline tenant probed each round while a
+/// best-effort tenant's batched pairs keep the datapath busy, with the
+/// timeline sampler and flight recorder armed ([`TIMELINE_SLO`]). With
+/// `spike`, round 3 injects a burst of hard-lane requests that drives
+/// the hard queue depth over the bound — the recorder MUST trip.
+///
+/// Everything returned is deterministic in the cycle domain: the same
+/// `(strategy, spike)` yields byte-identical series frames (advance
+/// columns excepted across `mode`) and byte-identical recorder dumps
+/// across advance modes and functional-backend thread counts.
+///
+/// # Panics
+///
+/// Panics on compile or simulation errors (bench harness context).
+#[must_use]
+pub fn serve_timeline_scenario(
+    strategy: InterruptStrategy,
+    mode: AdvanceMode,
+    threads: usize,
+    spike: bool,
+) -> TimelineRun {
+    let cfg = AccelConfig::paper_small();
+    let hard_w = Workload::compile(&cfg, &zoo::tiny(Shape3::new(3, 24, 24)).expect("hard net"));
+    let be_w = Workload::compile(&cfg, &zoo::tiny(Shape3::new(3, 48, 48)).expect("be net"));
+    let hard_prog = hard_w.for_strategy(strategy);
+    let be_prog = be_w.for_strategy(strategy);
+    let be_span = makespan(&cfg, &be_prog);
+    let interval = (be_span / 8).max(1);
+
+    let pool = CorePool::new(2, cfg, strategy, move || FuncBackend::with_threads(threads));
+    let mut gw = Gateway::new(pool, SchedPolicy::FixedPriority, PlacePolicy::LeastLoaded);
+    gw.set_advance_mode(mode);
+    gw.set_batch_window(be_span / 8);
+    gw.set_max_batch(4);
+    let (tracer, buf) = Tracer::ring(1 << 16);
+    gw.set_tracer(tracer);
+    gw.enable_timeline(interval, 4096);
+    gw.arm_recorder(
+        vec![SloSpec::parse(TIMELINE_SLO, &[], cfg.clock_hz).expect("timeline slo")],
+        4 * interval,
+        4 * interval,
+    );
+
+    let hard = gw.register(
+        TenantSpec::new("estop", Arc::clone(&hard_prog))
+            .hard(1_000_000_000)
+            .queue(16, DropPolicy::Reject),
+    );
+    let be = gw.register(
+        TenantSpec::new("bg", Arc::clone(&be_prog)).weight(3).queue(64, DropPolicy::Reject),
+    );
+    for core in 0..2 {
+        for (t, prog) in [(hard, &hard_prog), (be, &be_prog)] {
+            gw.pool_mut()
+                .core_mut(CoreId(core))
+                .backend_mut()
+                .install_ctx_image(t.ctx(), DdrImage::for_program(prog, 40 + t.ctx()));
+        }
+    }
+
+    let rounds = 6u64;
+    let gap = be_span * 2;
+    let mut now = 0;
+    for i in 0..rounds {
+        let t0 = i * gap;
+        gw.run_until(t0).expect("engine");
+        let _ = gw.submit(t0 + be_span / 16, be);
+        let _ = gw.submit(t0 + be_span / 8, be);
+        now = t0 + be_span / 2;
+        gw.run_until(now).expect("engine");
+        gw.submit(now, hard).expect("hard lane admits");
+        if spike && i == 3 {
+            // The injected overload: a burst of hard requests at one
+            // cycle drives the hard queue depth over TIMELINE_SLO's
+            // bound at the next sample boundary.
+            for _ in 0..12 {
+                let _ = gw.submit(now, hard);
+            }
+        }
+    }
+    gw.run_to_idle(now + gap * rounds * 4).expect("engine");
+
+    let responses = gw.drain_responses().len() as u64;
+    let violation = gw.violation().cloned();
+    let window = gw.sampler().and_then(|s| s.recorder()).and_then(|r| r.window());
+    let series = gw.take_timeline("serve_timeline").expect("timeline enabled");
+    let metrics_json = MetricsSnapshot::new("serve_timeline", gw.metrics()).to_json();
+    let ring_dropped = buf.dropped();
+    let events = buf.drain();
+    let (chrome_dump, slice_dump) = match (&violation, window) {
+        (Some(v), Some(w)) => (
+            Some(timeline::dump_chrome(&events, cfg.clock_hz, v, w, ring_dropped)),
+            Some(timeline::dump_slice(&series, w)),
+        ),
+        _ => (None, None),
+    };
+    TimelineRun { series, metrics_json, violation, chrome_dump, slice_dump, responses }
+}
+
 /// Mean over a slice of cycle counts, in microseconds.
 #[must_use]
 pub fn mean_us(cfg: &AccelConfig, cycles: &[u64]) -> f64 {
@@ -282,6 +407,30 @@ mod tests {
         assert!(Arc::ptr_eq(&w.for_strategy(InterruptStrategy::VirtualInstruction), &w.vi));
         assert!(Arc::ptr_eq(&w.for_strategy(InterruptStrategy::LayerByLayer), &w.original));
         assert!(w.vi.stats().virtual_instrs > w.original.stats().virtual_instrs);
+    }
+
+    #[test]
+    fn timeline_scenario_trips_only_with_the_spike() {
+        let quiet = serve_timeline_scenario(
+            InterruptStrategy::VirtualInstruction,
+            AdvanceMode::EventDriven,
+            1,
+            false,
+        );
+        assert!(quiet.violation.is_none(), "no spike, no trip: {:?}", quiet.violation);
+        assert!(quiet.series.len() > 4, "scenario produces frames");
+        assert!(quiet.responses > 0);
+
+        let spiked = serve_timeline_scenario(
+            InterruptStrategy::VirtualInstruction,
+            AdvanceMode::EventDriven,
+            1,
+            true,
+        );
+        let v = spiked.violation.expect("the injected spike must trip the recorder");
+        assert_eq!(v.spec, "hard");
+        assert!(v.clause.contains("depth"), "{}", v.clause);
+        assert!(spiked.chrome_dump.is_some() && spiked.slice_dump.is_some());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!          | latency:<duration>        # max preemption latency when this
 //!                                      # task wins the accelerator
 //!          | queue:<duration>          # max queue delay
+//!          | depth:<count>             # max instantaneous queue depth
+//!                                      # (timeline frames / flight recorder)
 //!          | jobs:<count>              # min completed jobs
 //!          | period:<duration>         # release period → throughput floor
 //!          | queue_share:<fraction>    # max share of lane latency in queue
@@ -106,6 +108,11 @@ pub struct SloSpec {
     pub max_preempt_latency: Option<u64>,
     /// Max queue delay (slot release→start, or task admit→bind), cycles.
     pub max_queue_delay: Option<u64>,
+    /// Max instantaneous queue depth, requests. Only the timeline layer
+    /// can see instantaneous depth, so this clause is evaluated by the
+    /// flight recorder and `TimeSeries::eval_spec`, not the end-of-run
+    /// trace paths (which ignore it).
+    pub max_depth: Option<u64>,
     /// Min completed (slot) / bound (task) jobs.
     pub min_jobs: Option<u64>,
     /// Release period, cycles — requires ≥ `window/period − 1` jobs.
@@ -207,6 +214,7 @@ impl SloSpec {
             max_miss_rate: 0.0,
             max_preempt_latency: None,
             max_queue_delay: None,
+            max_depth: None,
             min_jobs: None,
             period: None,
             max_shares: Vec::new(),
@@ -220,6 +228,9 @@ impl SloSpec {
                     out.max_preempt_latency = Some(parse_duration(v, clock_hz)?);
                 }
                 Some(("queue", v)) => out.max_queue_delay = Some(parse_duration(v, clock_hz)?),
+                Some(("depth", v)) => {
+                    out.max_depth = Some(v.parse().map_err(|_| format!("bad queue depth {v:?}"))?);
+                }
                 Some(("period", v)) => out.period = Some(parse_duration(v, clock_hz)?),
                 Some(("jobs", v)) => {
                     out.min_jobs = Some(v.parse().map_err(|_| format!("bad job count {v:?}"))?);
@@ -470,6 +481,11 @@ mod tests {
         let s = SloSpec::parse("task7=queue:10us", &[], HZ).expect("parse");
         assert_eq!(s.sel, TaskSel::SchedTask(7));
         assert_eq!(s.max_queue_delay, Some(3000));
+
+        let s = SloSpec::parse("hard=depth:4+miss:0.1", &[], HZ).expect("parse");
+        assert_eq!(s.sel, TaskSel::Lane { hard: true });
+        assert_eq!(s.max_depth, Some(4));
+        assert!(SloSpec::parse("hard=depth:x", &[], HZ).is_err());
 
         let list = SloSpec::parse_list("fe=50ms, pr=1s", &aliases, HZ).expect("parse");
         assert_eq!(list.len(), 2);

@@ -81,6 +81,38 @@ pub fn render(rows: &[TimelineRow], span: u64, width: usize) -> String {
     out
 }
 
+/// Density glyphs for [`spark`], lightest to darkest. ASCII-only so the
+/// dashboard renders identically on any terminal.
+const SPARK_LEVELS: &[u8] = b" .:-=+*#%@";
+
+/// Renders `values` as a `width`-cell ASCII sparkline. Values are
+/// resampled by bucket **maximum** (a one-frame spike always survives
+/// compression) and scaled against the global maximum; an all-zero or
+/// empty series paints spaces. Deterministic: integer arithmetic only.
+#[must_use]
+pub fn spark(values: &[u64], width: usize) -> String {
+    if width == 0 {
+        return String::new();
+    }
+    let max = values.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return " ".repeat(width);
+    }
+    let n = values.len();
+    let top = (SPARK_LEVELS.len() - 1) as u128;
+    let mut out = Vec::with_capacity(width);
+    for cell in 0..width {
+        // Bucket of source indices [lo, hi) for this cell.
+        let lo = cell * n / width;
+        let hi = ((cell + 1) * n / width).max(lo + 1).min(n);
+        let bucket = values[lo..hi.max(lo)].iter().copied().max().unwrap_or(0);
+        // Ceil-scale so any non-zero value clears the blank glyph.
+        let level = ((bucket as u128 * top).div_ceil(max as u128)) as usize;
+        out.push(SPARK_LEVELS[level.min(SPARK_LEVELS.len() - 1)]);
+    }
+    String::from_utf8(out).expect("ascii")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +145,23 @@ mod tests {
     fn full_span_paints_all_cells() {
         let bar = paint(&[(0, 100)], 100, 10);
         assert_eq!(bar, "##########");
+    }
+
+    #[test]
+    fn spark_scales_to_the_max_and_keeps_spikes() {
+        assert_eq!(spark(&[], 4), "    ");
+        assert_eq!(spark(&[0, 0, 0], 3), "   ");
+        assert_eq!(spark(&[0, 9, 0], 3), " @ ");
+        // Bucket-max resampling: the single spike survives 8 -> 4 cells.
+        let s = spark(&[0, 0, 0, 0, 0, 9, 0, 0], 4);
+        assert_eq!(s, "  @ ");
+        // Any non-zero value clears the blank glyph.
+        let s = spark(&[1, 1000], 2);
+        assert_eq!(s.as_bytes()[1], b'@');
+        assert_ne!(s.as_bytes()[0], b' ');
+        // Upsampling repeats source cells; width is always honoured.
+        assert_eq!(spark(&[9], 5), "@@@@@");
+        assert_eq!(spark(&[1, 2, 3], 0), "");
     }
 
     #[test]

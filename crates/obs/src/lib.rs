@@ -19,6 +19,10 @@
 //!   recorded rings or re-imported trace JSON, preemption t1/t2/t4
 //!   accounting with model-drift checks, SLO evaluation, occupancy
 //!   attribution, and the perf-baseline regression gate.
+//! * [`timeline`] — cycle-domain time-series telemetry: the periodic
+//!   [`Sampler`] over bounded frame rings, the columnar
+//!   [`TIMESERIES_SCHEMA`] export, and the SLO-triggered
+//!   [`FlightRecorder`] that freezes a window around the first violation.
 //!
 //! Because every timestamp is a virtual cycle, the same program and seed
 //! yield **byte-identical** trace files regardless of host machine or the
@@ -31,10 +35,11 @@ pub mod hostprof;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use analyze::Analyzer;
-pub use ascii::{paint, render, TimelineRow};
+pub use ascii::{paint, render, spark, TimelineRow};
 pub use chrome::{ChromeTrace, APP_TID, RUNTIME_TID};
 pub use hostprof::{HostComponent, HostProf, HostProfReport, HostTimer};
 pub use metrics::{
@@ -42,5 +47,9 @@ pub use metrics::{
 };
 pub use span::{
     request_detail, request_span_id, span_id, split_request_detail, Span, SpanStage, NO_CORE,
+};
+pub use timeline::{
+    CoreObs, FlightRecorder, Frame, Observation, Sampler, TenantObs, TimeSeries, Violation,
+    TIMESERIES_SCHEMA,
 };
 pub use trace::{RingSink, TraceBuffer, TraceEvent, TraceSink, Tracer};

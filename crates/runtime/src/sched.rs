@@ -455,6 +455,20 @@ impl Scheduler {
         self.bindings
     }
 
+    /// Program reloads performed so far (cumulative).
+    #[must_use]
+    pub fn reloads(&self) -> u64 {
+        self.reloads
+    }
+
+    /// Cycles spent in program-reload DMA so far (cumulative) — the
+    /// timeline's weight-cache residency proxy: a scheduler whose working
+    /// set stays resident burns none.
+    #[must_use]
+    pub fn reload_cycles(&self) -> u64 {
+        self.reload_cycles
+    }
+
     /// Submits one job of `task` at cycle `now`.
     ///
     /// The job's absolute deadline is `now + relative_deadline` when the

@@ -12,9 +12,10 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use inca_accel::{AdvanceMode, AdvanceStats, Backend, CoreId, CorePool, JobRecord, SimError};
+use inca_obs::analyze::SloSpec;
 use inca_obs::{
-    request_detail, request_span_id, span_id, HostComponent, HostProf, Metrics, SpanStage,
-    TraceEvent, Tracer,
+    request_detail, request_span_id, span_id, CoreObs, FlightRecorder, HostComponent, HostProf,
+    Metrics, Observation, Sampler, SpanStage, TenantObs, TimeSeries, TraceEvent, Tracer, Violation,
 };
 use inca_runtime::{DropPolicy, SchedPolicy, Scheduler, TaskId, TaskSpec};
 
@@ -122,6 +123,8 @@ pub struct Gateway<B: Backend> {
     mode: AdvanceMode,
     /// Event-engine work counters (barriers, wakes, skips).
     stats: AdvanceStats,
+    /// Cycle-domain timeline sampler (None = timeline disabled).
+    sampler: Option<Sampler>,
 }
 
 impl<B: Backend> Gateway<B> {
@@ -168,6 +171,7 @@ impl<B: Backend> Gateway<B> {
             host_prof: None,
             mode: AdvanceMode::default(),
             stats: AdvanceStats::default(),
+            sampler: None,
         }
     }
 
@@ -250,6 +254,99 @@ impl<B: Backend> Gateway<B> {
             self.pool.core_mut(id).set_host_prof(prof.clone());
         }
         self.host_prof = prof;
+    }
+
+    /// Enables cycle-domain timeline sampling: one [`Frame`] every
+    /// `interval` cycles into a bounded ring of `capacity` frames
+    /// (overflow evicts the oldest and is counted, surfaced loudly by the
+    /// export layers). The first boundary is the first interval multiple
+    /// strictly after the current gateway clock. Sampling interleaves
+    /// with the run loop in the cycle domain, so frames are
+    /// byte-identical across hosts, backend thread counts and advance
+    /// modes (advance-telemetry fields excepted — see
+    /// [`TimeSeries::without_advance`]).
+    ///
+    /// [`Frame`]: inca_obs::timeline::Frame
+    pub fn enable_timeline(&mut self, interval: u64, capacity: usize) {
+        let mut s = Sampler::new(interval, capacity);
+        s.align(self.now());
+        self.sampler = Some(s);
+    }
+
+    /// Arms the flight recorder on the enabled timeline: `specs` are
+    /// checked at every sample boundary; the first violation freezes a
+    /// `[cycle - pre, cycle + post]` window for the dump helpers.
+    ///
+    /// # Panics
+    ///
+    /// When [`Gateway::enable_timeline`] was not called first.
+    pub fn arm_recorder(&mut self, specs: Vec<SloSpec>, pre: u64, post: u64) {
+        self.sampler
+            .as_mut()
+            .expect("enable_timeline before arm_recorder")
+            .arm(FlightRecorder::new(specs, pre, post));
+    }
+
+    /// The timeline sampler, when enabled.
+    #[must_use]
+    pub fn sampler(&self) -> Option<&Sampler> {
+        self.sampler.as_ref()
+    }
+
+    /// The flight-recorder violation, when one tripped.
+    #[must_use]
+    pub fn violation(&self) -> Option<&Violation> {
+        self.sampler.as_ref().and_then(Sampler::violation)
+    }
+
+    /// Exports the timeline: flushes a trailing partial frame at the pool
+    /// clock (so frame deltas reconcile with final totals even when the
+    /// run does not end on a boundary), then snapshots the ring as a
+    /// [`TimeSeries`]. Non-consuming; `None` when the timeline is
+    /// disabled.
+    pub fn take_timeline(&mut self, name: &str) -> Option<TimeSeries> {
+        let at = self.pool.now();
+        let obs = self.observe(at);
+        let clock_hz = self.pool.core(CoreId(0)).config().clock_hz;
+        let s = self.sampler.as_mut()?;
+        s.flush(obs);
+        Some(s.series(name, clock_hz))
+    }
+
+    /// One cumulative cycle-domain observation of the whole gateway.
+    fn observe(&self, cycle: u64) -> Observation {
+        let cores = (0..self.scheds.len())
+            .map(|c| CoreObs {
+                busy_cycles: self.pool.busy_cycles(CoreId(c)),
+                reload_cycles: self.scheds[c].reload_cycles(),
+            })
+            .collect();
+        let tenants = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let task = self.task_ids[i];
+                let queued = self.scheds.iter().map(|s| s.queue_depth(task) as u64).sum::<u64>()
+                    + self.batches[e.net].entries.iter().filter(|p| p.tenant.0 == i).count() as u64;
+                TenantObs {
+                    hard: e.spec.lane == Lane::Hard,
+                    queue_depth: queued,
+                    outstanding: e.stats.outstanding(),
+                    missed: e.stats.deadline_missed,
+                    shed: e.stats.shed,
+                    completed: e.stats.completed,
+                }
+            })
+            .collect();
+        Observation {
+            cycle,
+            cores,
+            tenants,
+            barriers: self.stats.barriers,
+            wakes: self.stats.wakes,
+            skips: self.stats.skips,
+        }
     }
 
     fn tag_for(&self, request: RequestId) -> Option<u64> {
@@ -586,25 +683,63 @@ impl<B: Backend> Gateway<B> {
         None
     }
 
-    /// Advances the whole gateway to `deadline`: batch flushes fire in
-    /// cycle order (cores are advanced to each flush cycle first, so
-    /// placement sees the pool state *at* that cycle), then every core
-    /// runs out to `deadline`.
+    /// Advances the whole gateway to `deadline`: batch flushes and
+    /// timeline sample boundaries fire interleaved in cycle order (cores
+    /// are advanced to each boundary cycle first, so flush placement and
+    /// sampled frames see the pool state *at* that cycle), then every
+    /// core runs out to `deadline`.
+    ///
+    /// A sample boundary is eligible only while the gateway has
+    /// outstanding work — a purely cycle-domain condition, so the frame
+    /// schedule is identical across advance modes and thread counts, and
+    /// `run_until(u64::MAX)` still terminates (boundaries stop once work
+    /// drains; the trailing drain window is covered by the partial frame
+    /// [`Gateway::take_timeline`] flushes).
     ///
     /// # Errors
     ///
     /// Propagates engine/backend errors.
     pub fn run_until(&mut self, deadline: u64) -> Result<(), SimError> {
-        while let Some(cycle) = self.next_flush().filter(|&c| c <= deadline) {
-            // An overdue flush (a request joined the batch *after* the
-            // scheduled cycle, because the gateway had not run past it
-            // yet) fires at the gateway clock instead: a batch is never
-            // dispatched before one of its requests arrived.
+        let mut sampled_state: Option<(u64, u64, usize)> = None;
+        loop {
+            let flush = self.next_flush().filter(|&c| c <= deadline);
+            // Progress guard: if nothing changed since the last boundary
+            // and no flush is pending, the outstanding work is wedged
+            // (nothing any barrier can serve) — stop sampling so
+            // `run_until(u64::MAX)` terminates. Cycle-domain state only,
+            // so the guard fires identically in both advance modes.
+            let state = (self.outstanding(), self.pool.now(), self.pending_batched());
+            let sample = self.sampler.as_ref().map(Sampler::next_at).filter(|&c| {
+                c <= deadline
+                    && self.outstanding() > 0
+                    && (flush.is_some() || sampled_state != Some(state))
+            });
+            // Ties run the flush first; the boundary then samples the
+            // post-flush state at the same cycle on the next iteration.
+            let (cycle, is_flush) = match (flush, sample) {
+                (Some(f), Some(s)) if s < f => (s, false),
+                (Some(f), _) => (f, true),
+                (None, Some(s)) => (s, false),
+                (None, None) => break,
+            };
+            // An overdue boundary (a request arrived *after* the scheduled
+            // cycle, because the gateway had not run past it yet) fires at
+            // the gateway clock instead: a batch is never dispatched
+            // before one of its requests arrived.
             let fire = cycle.max(self.now);
             self.advance_all(fire.min(deadline))?;
-            let Reverse((_, net, _)) = self.flushes.pop().expect("peeked flush exists");
             self.now = self.now.max(fire);
-            self.flush_net(fire, net);
+            if is_flush {
+                let Reverse((_, net, _)) = self.flushes.pop().expect("peeked flush exists");
+                self.flush_net(fire, net);
+            } else {
+                // Frames stay pinned to the interval grid even when the
+                // boundary fired late — the cycle axis is what merge and
+                // the differential suites compare.
+                let obs = self.observe(cycle);
+                self.sampler.as_mut().expect("sample boundary implies sampler").record(obs);
+                sampled_state = Some(state);
+            }
         }
         self.now = self.now.max(deadline);
         self.advance_all(deadline)
@@ -777,6 +912,17 @@ impl<B: Backend> Gateway<B> {
         m.inc("serve.deadlines.missed", t.deadline_missed);
         m.inc("serve.batches.dispatched", self.batches_dispatched);
         m.inc("serve.batches.requests", self.batched_requests);
+        // Event-engine work telemetry. Deterministic for a fixed
+        // configuration, but mode-dependent by design: differential
+        // suites comparing EventDriven vs Stepping strip `event.*` keys.
+        m.inc("event.barriers", self.stats.barriers);
+        m.inc("event.wakes", self.stats.wakes);
+        m.inc("event.skips", self.stats.skips);
+        if let Some(s) = &self.sampler {
+            m.inc("timeline.frames", s.len() as u64);
+            m.inc("timeline.dropped", s.dropped());
+            m.inc("timeline.recorder.tripped", u64::from(s.violation().is_some()));
+        }
         m.set_gauge("serve.pending.batched", self.pending_batched() as f64);
         for (i, entry) in self.tenants.iter().enumerate() {
             m.set_gauge(&format!("serve.tenant{i}.outstanding"), entry.stats.outstanding() as f64);

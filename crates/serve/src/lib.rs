@@ -66,9 +66,13 @@ mod place;
 mod request;
 
 pub use gateway::{Accepted, Gateway, DEFAULT_BATCH_WINDOW, DEFAULT_MAX_BATCH};
-pub use live::{LiveConfig, LiveError, LiveReport, LiveServer, RESPONSE_TOPIC};
+pub use live::{
+    LiveConfig, LiveError, LiveReport, LiveServer, LiveSnapshot, TenantSummary, RESPONSE_TOPIC,
+};
 pub use place::PlacePolicy;
 pub use request::{Lane, RequestId, Response, ShedReason, TenantId, TenantSpec, TenantStats};
 
 pub use inca_accel::{AdvanceMode, AdvanceStats};
+pub use inca_obs::analyze::SloSpec;
+pub use inca_obs::{FlightRecorder, Sampler, TimeSeries, Violation};
 pub use inca_runtime::{DropPolicy, SchedPolicy};

@@ -17,11 +17,11 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use inca_accel::Backend;
-use inca_obs::Metrics;
+use inca_obs::{spark, Metrics, TimeSeries};
 use inca_runtime::live::LiveBus;
 
 use crate::gateway::{Accepted, Gateway};
-use crate::request::{Response, ShedReason, TenantId, TenantStats};
+use crate::request::{Lane, Response, ShedReason, TenantId, TenantStats};
 
 /// Topic completed responses are published on.
 pub const RESPONSE_TOPIC: &str = "serve/responses";
@@ -87,11 +87,26 @@ impl std::fmt::Display for LiveError {
 
 impl std::error::Error for LiveError {}
 
+/// One tenant's identity and counters, as seen by a snapshot or the
+/// final report.
+#[derive(Debug, Clone)]
+pub struct TenantSummary {
+    /// Registered tenant name.
+    pub name: String,
+    /// Hard-deadline lane (`false` = best-effort).
+    pub hard: bool,
+    /// Lifetime counters at capture time.
+    pub stats: TenantStats,
+}
+
 /// Final accounting returned by [`LiveServer::shutdown`].
 #[derive(Debug, Clone)]
 pub struct LiveReport {
     /// Lifetime counters summed over all tenants.
     pub totals: TenantStats,
+    /// Per-tenant identity and counters — so callers can print a
+    /// per-lane summary even when the run was interrupted early.
+    pub tenants: Vec<TenantSummary>,
     /// Responses published on the bus.
     pub responses_published: u64,
     /// The gateway's final metrics (`serve.*` plus per-core `sched.*`),
@@ -99,9 +114,68 @@ pub struct LiveReport {
     pub metrics: Metrics,
 }
 
+/// A point-in-time view of the live gateway, for top-like dashboards
+/// ([`LiveServer::snapshot`]). Capturing one is cheap and does not stall
+/// the request path beyond one driver-loop turn.
+#[derive(Debug, Clone)]
+pub struct LiveSnapshot {
+    /// The gateway clock at capture.
+    pub now: u64,
+    /// Per-tenant identity and counters.
+    pub tenants: Vec<TenantSummary>,
+    /// Lifetime counters summed over all tenants.
+    pub totals: TenantStats,
+    /// Responses published on the bus so far.
+    pub responses_published: u64,
+    /// The gateway timeline (flushed through the capture cycle), when
+    /// `enable_timeline` was called before spawning.
+    pub timeline: Option<TimeSeries>,
+}
+
+impl LiveSnapshot {
+    /// Renders the snapshot as a fixed-width top-like dashboard: one row
+    /// per tenant with a queue-depth sparkline (when the timeline is
+    /// enabled) and the live counters. Pure function of the snapshot —
+    /// deterministic given deterministic inputs.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycle {:>12}  done {}  miss {}  shed {}  outstanding {}",
+            self.now,
+            self.totals.completed,
+            self.totals.deadline_missed,
+            self.totals.shed,
+            self.totals.outstanding(),
+        );
+        let name_w = self.tenants.iter().map(|t| t.name.len()).max().unwrap_or(0).max(4);
+        for (i, t) in self.tenants.iter().enumerate() {
+            let lane = if t.hard { "hard" } else { "be  " };
+            let bar = self
+                .timeline
+                .as_ref()
+                .and_then(|ts| ts.column(&format!("tenant{i}.queue_depth")))
+                .map_or_else(|| " ".repeat(width), |depths| spark(depths, width));
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {lane} |{bar}| q={} done={} miss={} shed={}",
+                t.name,
+                t.stats.outstanding(),
+                t.stats.completed,
+                t.stats.deadline_missed,
+                t.stats.shed,
+            );
+        }
+        out
+    }
+}
+
 #[derive(Debug)]
 enum Cmd {
     Submit { tenant: TenantId, reply: Sender<Result<Accepted, ShedReason>> },
+    Snapshot { reply: Sender<LiveSnapshot> },
     Shutdown { reply: Sender<LiveReport> },
 }
 
@@ -174,6 +248,22 @@ impl LiveServer {
         Err(LiveError::Busy)
     }
 
+    /// Captures a point-in-time [`LiveSnapshot`] for a top-like display.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::TimedOut`] / [`LiveError::Disconnected`] when the
+    /// driver cannot be reached.
+    pub fn snapshot(&self) -> Result<LiveSnapshot, LiveError> {
+        let (reply, rx) = bounded(1);
+        self.tx.send(Cmd::Snapshot { reply }).map_err(|_| LiveError::Disconnected)?;
+        match rx.recv_timeout(self.cfg.reply_timeout) {
+            Ok(s) => Ok(s),
+            Err(RecvTimeoutError::Timeout) => Err(LiveError::TimedOut),
+            Err(RecvTimeoutError::Disconnected) => Err(LiveError::Disconnected),
+        }
+    }
+
     /// Drains the gateway to idle, stops the driver and returns the final
     /// accounting.
     ///
@@ -220,6 +310,15 @@ fn drive<B: Backend>(
                 }
                 published += publish(&mut gateway, &bus);
             }
+            Ok(Cmd::Snapshot { reply }) => {
+                let _ = reply.send(LiveSnapshot {
+                    now: gateway.now(),
+                    tenants: summaries(&gateway),
+                    totals: gateway.totals(),
+                    responses_published: published,
+                    timeline: gateway.take_timeline("live"),
+                });
+            }
             Ok(Cmd::Shutdown { reply }) => {
                 let _ = gateway.run_to_idle(u64::MAX);
                 published += publish(&mut gateway, &bus);
@@ -227,6 +326,7 @@ fn drive<B: Backend>(
                 metrics.absorb("", &bus.metrics());
                 let _ = reply.send(LiveReport {
                     totals: gateway.totals(),
+                    tenants: summaries(&gateway),
                     responses_published: published,
                     metrics,
                 });
@@ -243,6 +343,20 @@ fn drive<B: Backend>(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
+}
+
+fn summaries<B: Backend>(gateway: &Gateway<B>) -> Vec<TenantSummary> {
+    (0..gateway.tenant_count())
+        .map(|i| {
+            let id = TenantId(i);
+            let spec = gateway.spec(id);
+            TenantSummary {
+                name: spec.name.clone(),
+                hard: spec.lane == Lane::Hard,
+                stats: gateway.stats(id),
+            }
+        })
+        .collect()
 }
 
 fn publish<B: Backend>(gateway: &mut Gateway<B>, bus: &LiveBus<Response>) -> u64 {

@@ -18,9 +18,14 @@
 //! and print the per-stage latency breakdown — the "explain a slow
 //! request" workflow from the README.
 //!
+//! Pass `--live --watch` for the top-like dashboard: the gateway samples
+//! a cycle-domain timeline and the client periodically renders per-lane
+//! queue-depth sparklines from [`inca::serve::LiveServer::snapshot`].
+//!
 //! ```sh
 //! cargo run --release --example serve                      # deterministic
 //! cargo run --release --example serve -- --live            # thread-based
+//! cargo run --release --example serve -- --live --watch    # live dashboard
 //! cargo run --release --example serve -- --trace-sample 1  # span breakdowns
 //! ```
 
@@ -32,6 +37,7 @@ use inca::model::{zoo, Shape3};
 use inca::obs::{Analyzer, Tracer};
 use inca::serve::{
     DropPolicy, Gateway, LiveConfig, LiveServer, PlacePolicy, SchedPolicy, TenantId, TenantSpec,
+    TenantSummary,
 };
 
 fn build_gateway() -> Result<(Gateway<TimingBackend>, [TenantId; 3]), Box<dyn std::error::Error>> {
@@ -130,30 +136,91 @@ fn run_deterministic(trace_sample: u64) -> Result<(), Box<dyn std::error::Error>
     Ok(())
 }
 
+/// The per-lane summary for the live frontend, printed from snapshot or
+/// report data so it is available on every exit path.
+fn report_live(name: &str, tenants: &[TenantSummary]) {
+    println!("\n{name}: per-tenant accounting");
+    println!(
+        "{:>8} {:>10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
+        "tenant", "lane", "subm", "done", "rej", "shed", "drop", "skip", "dl miss"
+    );
+    for t in tenants {
+        let lane = if t.hard { "hard" } else { "best-effort" };
+        println!(
+            "{:>8} {:>10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
+            t.name,
+            lane,
+            t.stats.submitted,
+            t.stats.completed,
+            t.stats.rejected,
+            t.stats.shed,
+            t.stats.dropped,
+            t.stats.skipped,
+            t.stats.deadline_missed,
+        );
+    }
+}
+
 /// The thread-based frontend: same gateway behind a bounded command
-/// channel, responses over a bounded bus.
-fn run_live() -> Result<(), Box<dyn std::error::Error>> {
-    let (gw, tenants) = build_gateway()?;
+/// channel, responses over a bounded bus. With `watch`, the gateway
+/// samples a cycle-domain timeline and the client renders a top-like
+/// per-lane dashboard between submission bursts.
+fn run_live(watch: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let (mut gw, tenants) = build_gateway()?;
+    if watch {
+        gw.enable_timeline(50_000, 1024);
+    }
     let [camera, lidar, estop] = tenants;
     let server = LiveServer::spawn(gw, LiveConfig::default());
     let responses = server.responses();
 
-    for i in 0..40u64 {
-        let _ = server.submit(if i % 3 == 2 { lidar } else { camera });
+    // The submission loop may be cut short (a wedged driver, an estop
+    // refusal): `interrupted` routes every such path through the same
+    // drain-and-report tail below instead of bailing without a summary.
+    let mut interrupted = false;
+    'submit: for i in 0..40u64 {
+        if server.submit(if i % 3 == 2 { lidar } else { camera }).is_err() && !watch {
+            // Best-effort shed/backpressure is expected; driver loss ends
+            // the run early but must still produce the summary.
+            if server.snapshot().is_err() {
+                interrupted = true;
+                break 'submit;
+            }
+        }
         if i == 13 {
-            server.submit(estop).expect("the hard lane admits the emergency");
+            if let Err(e) = server.submit(estop) {
+                eprintln!("live: emergency-stop submission failed ({e}); stopping early");
+                interrupted = true;
+                break 'submit;
+            }
+        }
+        if watch && (i + 1) % 10 == 0 {
+            let snap = server.snapshot()?;
+            println!("-- watch @ request {} --", i + 1);
+            print!("{}", snap.render(40));
         }
     }
-    let live_report = server.shutdown().expect("driver drains and stops");
-    let received = responses.try_iter().count();
-    println!(
-        "live: {} responses published, {} received before shutdown; totals: {} completed, \
-         {} shed/dropped",
-        live_report.responses_published,
-        received,
-        live_report.totals.completed,
-        live_report.totals.shed + live_report.totals.dropped,
-    );
+
+    // Interrupted or not, the drain path ends with per-lane accounting.
+    match server.shutdown() {
+        Ok(live_report) => {
+            let received = responses.try_iter().count();
+            println!(
+                "live{}: {} responses published, {} received before shutdown; totals: \
+                 {} completed, {} shed/dropped",
+                if interrupted { " (interrupted early)" } else { "" },
+                live_report.responses_published,
+                received,
+                live_report.totals.completed,
+                live_report.totals.shed + live_report.totals.dropped,
+            );
+            report_live("live", &live_report.tenants);
+        }
+        Err(e) => {
+            eprintln!("live: shutdown failed ({e}); summary unavailable");
+            return Err(Box::new(e));
+        }
+    }
     Ok(())
 }
 
@@ -166,7 +233,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(0);
     if args.iter().any(|a| a == "--live") {
-        run_live()
+        run_live(args.iter().any(|a| a == "--watch"))
     } else {
         run_deterministic(trace_sample)
     }

@@ -10,15 +10,16 @@
 # `inca_obs::analyze::baseline::default_rules`).
 #
 #   scripts/bench_gate.sh             # full gate: func + func_tiers + sched
-#                                     #   + serve + dslam + spans + event, plus
-#                                     #   the tier-1 MobileNet speedup floor
-#                                     #   (>= 5x) and the event-engine fleet
-#                                     #   speedup floor (>= 10x)
+#                                     #   + serve + dslam + spans + event +
+#                                     #   timeline, plus the tier-1 MobileNet
+#                                     #   speedup floor (>= 5x) and the
+#                                     #   event-engine fleet speedup floor
+#                                     #   (>= 10x)
 #   scripts/bench_gate.sh --quick     # deterministic bins only (func_tiers +
 #                                     #   sched + serve + dslam + spans +
-#                                     #   event): skips perf_smoke, whose
-#                                     #   wall-clock throughput needs a quiet
-#                                     #   machine
+#                                     #   event + timeline): skips perf_smoke,
+#                                     #   whose wall-clock throughput needs a
+#                                     #   quiet machine
 #   scripts/bench_gate.sh --refresh   # regenerate the committed baselines
 #                                     #   (rerun after an intentional perf or
 #                                     #   metrics change, then commit)
@@ -40,7 +41,8 @@ gates() {
             "serve BENCH_serve.json fig_serve_load" \
             "dslam BENCH_dslam.json fig_dslam_mission" \
             "spans BENCH_spans.json spans" \
-            "event BENCH_event.json fig_event_engine" ;;
+            "event BENCH_event.json fig_event_engine" \
+            "timeline BENCH_timeline.json timeline" ;;
         *) printf '%s\n' \
             "func BENCH_func.json perf_smoke" \
             "func_tiers BENCH_func_tiers.json fig_func_tiers" \
@@ -48,7 +50,8 @@ gates() {
             "serve BENCH_serve.json fig_serve_load" \
             "dslam BENCH_dslam.json fig_dslam_mission" \
             "spans BENCH_spans.json spans" \
-            "event BENCH_event.json fig_event_engine" ;;
+            "event BENCH_event.json fig_event_engine" \
+            "timeline BENCH_timeline.json timeline" ;;
     esac
 }
 
@@ -101,6 +104,13 @@ run_bin() { # bin -> writes $tmp/<bin>.json
         # queue/batch/reload/exec/preempted decomposition trips the gate.
         echo "== bench gate: running inca-analyze --spans --json"
         ./target/release/inca-analyze --spans --json > "$tmp/spans.json"
+    elif [ "$1" = "timeline" ]; then
+        # Cycle-domain timeline baseline: the metrics-v1 snapshot of the
+        # canonical serve-timeline scenario (`inca-analyze --timeline`).
+        # Everything here is cycle-domain and exact-match, including the
+        # frame count and the recorder-tripped flag (0 without a spike).
+        echo "== bench gate: running inca-analyze --timeline --json"
+        ./target/release/inca-analyze --timeline --json > "$tmp/timeline.json"
     else
         echo "== bench gate: running $1 --json"
         "./target/release/$1" --json > "$tmp/$1.json"
@@ -227,6 +237,26 @@ EOF
             echo "bench gate selftest: FAILED — starved skips counter passed the floor check" >&2
             exit 1
         fi
+        # Fixture 7: the serve-timeline scenario run twice — quiet, and
+        # with an injected hard-lane queue-depth spike. The always-armed
+        # flight recorder must stay quiet on the former and trip on the
+        # latter; `--inject-spike` also makes the CLI itself exit nonzero
+        # if the recorder stays silent.
+        run_bin timeline
+        echo "== bench gate: running inca-analyze --timeline --inject-spike --json"
+        ./target/release/inca-analyze --timeline --inject-spike --json > "$tmp/timeline_spike.json"
+        ./target/release/inca-analyze --gate "$tmp/timeline.json" "$tmp/timeline.json"
+        python3 - "$tmp/timeline.json" "$tmp/timeline_spike.json" <<'EOF'
+import json, sys
+quiet = json.load(open(sys.argv[1]))["counters"]
+spike = json.load(open(sys.argv[2]))["counters"]
+if quiet["timeline.recorder.tripped"] != 0:
+    sys.exit("bench gate selftest: FAILED - quiet timeline run tripped the recorder")
+if spike["timeline.recorder.tripped"] != 1:
+    sys.exit("bench gate selftest: FAILED - injected queue-depth spike did not trip the recorder")
+print(f"bench gate selftest: injected spike tripped the flight recorder "
+      f"({spike['timeline.frames']} frames sampled) ok")
+EOF
         echo "bench gate selftest: ok (identity passes, injected regressions trip)"
         ;;
     full|--quick)
