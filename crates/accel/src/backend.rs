@@ -105,6 +105,15 @@ pub trait Backend {
     /// previous owner is lost.
     fn on_switch(&mut self, slot: TaskSlot);
 
+    /// A (possibly different) program was loaded into `slot`. Stateful
+    /// backends must invalidate any on-chip buffers or snapshots staged
+    /// for the slot's previous program: ownership does not change on a
+    /// same-slot reload, so [`Backend::on_switch`] alone cannot catch
+    /// it. The default (timing-only) implementation is a no-op.
+    fn on_load(&mut self, slot: TaskSlot) {
+        let _ = slot;
+    }
+
     /// CPU-like interrupt: capture the whole on-chip state for `slot`.
     fn snapshot(&mut self, slot: TaskSlot);
 

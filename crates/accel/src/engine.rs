@@ -622,7 +622,15 @@ impl<B: Backend> Engine<B> {
         if s.job.is_some() {
             return Err(SimError::Engine(format!("{slot} has a job in flight")));
         }
-        s.program = Some(program.into());
+        let program = program.into();
+        // A same-slot reload keeps ownership, so the backend's on_switch
+        // clear never fires — it must invalidate the slot's staged
+        // buffers here or the new program would read the old one's.
+        let reloaded = s.program.as_ref().is_none_or(|p| !Arc::ptr_eq(p, &program));
+        s.program = Some(program);
+        if reloaded {
+            self.backend.on_load(slot);
+        }
         Ok(())
     }
 

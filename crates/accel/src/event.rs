@@ -107,6 +107,14 @@ impl WakeHeap {
         self.armed.len()
     }
 
+    /// Registers one more component (disarmed), returning its index —
+    /// the grow half of elastic pools: a core appended mid-run joins the
+    /// heap without disturbing existing arms.
+    pub fn add_component(&mut self) -> usize {
+        self.armed.push(None);
+        self.armed.len() - 1
+    }
+
     /// Arms component `idx` to wake at `cycle`. An already-armed
     /// component keeps the earlier of the two wakes.
     ///
@@ -214,6 +222,18 @@ mod tests {
         assert_eq!(h.drain_armed(), vec![0, 3, 5]);
         assert_eq!(h.drain_armed(), Vec::<usize>::new(), "drain disarms everything");
         assert_eq!(h.next_wake(), None);
+    }
+
+    #[test]
+    fn add_component_grows_without_disturbing_arms() {
+        let mut h = WakeHeap::new(2);
+        h.arm(1, 40);
+        assert_eq!(h.add_component(), 2);
+        assert_eq!(h.components(), 3);
+        h.arm(2, 10);
+        assert_eq!(h.pop_next(), Some((10, 2)));
+        assert_eq!(h.pop_next(), Some((40, 1)));
+        assert_eq!(h.pop_next(), None);
     }
 
     #[test]

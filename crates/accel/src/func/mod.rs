@@ -708,6 +708,15 @@ impl Backend for FuncBackend {
         }
     }
 
+    fn on_load(&mut self, slot: TaskSlot) {
+        // A different program now lives in `slot`: staged planes and any
+        // snapshot belong to the previous one and must not be readable.
+        if self.owner == Some(slot) {
+            self.bufs.clear();
+        }
+        self.snapshots[slot.index()] = None;
+    }
+
     fn snapshot(&mut self, slot: TaskSlot) {
         self.snapshots[slot.index()] = Some(self.bufs.clone());
     }

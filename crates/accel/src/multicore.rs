@@ -145,6 +145,21 @@ impl<B: Backend> CorePool<B> {
         self.wake.arm(core.0, cycle);
     }
 
+    /// Appends one core to the pool mid-run — the grow half of elastic
+    /// scaling. The engine joins the wake heap immediately (armed when it
+    /// arrives with work queued) and gets the next core id; existing core
+    /// ids, arms and reports are untouched, so growth never perturbs the
+    /// deterministic state of the cores already running.
+    pub fn push_core(&mut self, engine: Engine<B>) -> CoreId {
+        let idx = self.wake.add_component();
+        debug_assert_eq!(idx, self.cores.len(), "heap and core vector stay aligned");
+        if let Some(t) = engine.next_event() {
+            self.wake.arm(idx, t);
+        }
+        self.cores.push(engine);
+        CoreId(idx)
+    }
+
     /// Number of cores.
     #[must_use]
     pub fn cores(&self) -> usize {
@@ -496,6 +511,36 @@ mod tests {
         // Preemptive cores each carry an IAU on top of the datapath.
         let plain = cnn_accelerator(AccelConfig::paper_big().arch.parallelism);
         assert_eq!(c1.lut, (plain + iau()).lut);
+    }
+
+    #[test]
+    fn push_core_grows_the_pool_mid_run() {
+        let mut pool = CorePool::new(
+            1,
+            AccelConfig::paper_big(),
+            InterruptStrategy::NonPreemptive,
+            TimingBackend::new,
+        );
+        let slot = TaskSlot::new(1).unwrap();
+        let p = Arc::new(tiny());
+        pool.load(CoreId(0), slot, Arc::clone(&p)).unwrap();
+        pool.request_at(0, CoreId(0), slot).unwrap();
+        pool.run_until(10).unwrap();
+        // Grow while core 0 is mid-job; the new core serves its own work.
+        let mut e = Engine::new(
+            AccelConfig::paper_big(),
+            InterruptStrategy::NonPreemptive,
+            TimingBackend::new(),
+        );
+        e.load(slot, Arc::clone(&p)).unwrap();
+        let id = pool.push_core(e);
+        assert_eq!(id, CoreId(1));
+        assert_eq!(pool.cores(), 2);
+        pool.request_at(20, id, slot).unwrap();
+        let reports = pool.run().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].completed_jobs.len(), 1);
+        assert_eq!(reports[1].completed_jobs.len(), 1);
     }
 
     #[test]

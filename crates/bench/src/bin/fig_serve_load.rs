@@ -36,35 +36,12 @@
 use std::sync::Arc;
 
 use inca_accel::{AccelConfig, CorePool, Engine, InterruptStrategy, TimingBackend};
+use inca_bench::workload::Gaps;
 use inca_compiler::Compiler;
 use inca_isa::{Program, TaskSlot};
 use inca_model::{zoo, Network, Shape3};
 use inca_obs::{Metrics, MetricsSnapshot, TimeSeries, TraceBuffer, TraceEvent, Tracer};
 use inca_serve::{DropPolicy, Gateway, PlacePolicy, SchedPolicy, TenantId, TenantSpec};
-
-/// Exponential quantiles at the midpoints of 16 equiprobable bins, in
-/// permille of the mean (precomputed so arrival generation stays in
-/// integer arithmetic).
-const EXP_Q_PERMILLE: [u64; 16] =
-    [32, 98, 170, 247, 330, 421, 521, 632, 758, 901, 1068, 1268, 1520, 1856, 2367, 3466];
-
-/// Deterministic arrival-gap source: LCG indexing the quantile table.
-struct Gaps {
-    state: u64,
-}
-
-impl Gaps {
-    fn new(seed: u64) -> Self {
-        Self { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 }
-    }
-
-    /// Next inter-arrival gap with the given mean, exponential-ish.
-    fn next(&mut self, mean: u64) -> u64 {
-        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let idx = ((self.state >> 33) % 16) as usize;
-        (mean * EXP_Q_PERMILLE[idx] / 1000).max(1)
-    }
-}
 
 fn cfg() -> AccelConfig {
     AccelConfig::paper_big()

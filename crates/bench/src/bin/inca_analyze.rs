@@ -391,10 +391,11 @@ fn timeline_mode(args: &Args) -> Result<ExitCode, String> {
 
     let s = &run.series;
     println!(
-        "== cycle-domain timeline ({strategy}, interval {} cy, {} frames, {} responses, \
-         recorder armed on {:?}) ==",
+        "== cycle-domain timeline ({strategy}, interval {} cy, {} frames, {} dropped, \
+         {} responses, recorder armed on {:?}) ==",
         s.interval,
         s.len(),
+        s.dropped,
         run.responses,
         inca_bench::TIMELINE_SLO,
     );

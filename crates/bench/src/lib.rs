@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod workload;
+
 use std::sync::Arc;
 
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,243 @@
+//! Fleet routing: which gateway a request is steered to.
+//!
+//! The interesting policy is [`RoutePolicy::WeightCacheAware`]: tenants
+//! get a *home* gateway from a consistent-hash ring (so tenant→gateway
+//! affinity survives fleet growth with minimal reshuffling), and each
+//! dispatch minimizes a cost that charges the **modelled reload cycles**
+//! of a LOAD_W weight-cache miss — [`inca_runtime::reload_penalty`] of
+//! the tenant's program — on any gateway where the router's residency
+//! model says the program is not warm. A tenant therefore sticks to its
+//! home while the fleet is balanced, and only migrates when another
+//! gateway's backlog advantage exceeds the cost of re-streaming the
+//! program's instruction records over DMA.
+
+use std::collections::VecDeque;
+
+/// Replicated ring points per gateway: enough that tenant homes spread
+/// evenly across small fleets without making ring lookups expensive.
+const RING_POINTS: usize = 16;
+
+/// Pluggable fleet routing policy for a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutePolicy {
+    /// Rotate over the gateways in id order, one submission per step.
+    RoundRobin,
+    /// Consistent-hash home with a cost function over modelled backlog
+    /// plus modelled LOAD_W reload cycles on a residency miss (see
+    /// module docs). Ties prefer the shortest ring distance from the
+    /// tenant's home, then the lowest gateway id.
+    #[default]
+    WeightCacheAware,
+}
+
+impl std::fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RoutePolicy::RoundRobin => "round-robin",
+            RoutePolicy::WeightCacheAware => "weight-cache-aware",
+        })
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, dependency-free, well-mixed 64-bit
+/// hash. Deterministic across hosts, which is all the ring needs.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Per-gateway weight-cache residency model: an LRU over network (net)
+/// indices, approximating which programs are still resident in the
+/// gateway's task slots. Capacity tracks the gateway's *active* cores ×
+/// task slots, so elastic shrink also shrinks the modelled cache.
+#[derive(Debug, Default)]
+struct Residency {
+    lru: VecDeque<usize>,
+}
+
+impl Residency {
+    fn contains(&self, net: usize) -> bool {
+        self.lru.contains(&net)
+    }
+
+    /// Marks `net` most-recently-used; returns `true` on a hit.
+    fn touch(&mut self, net: usize, cap: usize) -> bool {
+        let hit = if let Some(pos) = self.lru.iter().position(|&n| n == net) {
+            self.lru.remove(pos);
+            true
+        } else {
+            false
+        };
+        self.lru.push_back(net);
+        while self.lru.len() > cap.max(1) {
+            self.lru.pop_front();
+        }
+        hit
+    }
+}
+
+/// Cumulative routing counters (all deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Routed submissions that landed on a gateway with the tenant's
+    /// program modelled resident.
+    pub hits: u64,
+    /// Routed submissions that landed cold.
+    pub misses: u64,
+    /// Modelled reload cycles charged across all misses — the router's
+    /// own estimate of weight-cache damage, comparable across policies.
+    pub miss_cycles: u64,
+}
+
+/// Mutable routing state (ring, round-robin cursor, residency models).
+#[derive(Debug)]
+pub(crate) struct Router {
+    policy: RoutePolicy,
+    /// Consistent-hash ring: `(point, gateway)` sorted by point.
+    ring: Vec<(u64, usize)>,
+    rr_next: usize,
+    resident: Vec<Residency>,
+    stats: RouteStats,
+}
+
+impl Router {
+    pub(crate) fn new(policy: RoutePolicy, gateways: usize) -> Self {
+        let mut ring = Vec::with_capacity(gateways * RING_POINTS);
+        for g in 0..gateways {
+            for r in 0..RING_POINTS {
+                ring.push((mix64(((g as u64) << 32) | r as u64), g));
+            }
+        }
+        ring.sort_unstable();
+        Self {
+            policy,
+            ring,
+            rr_next: 0,
+            resident: (0..gateways).map(|_| Residency::default()).collect(),
+            stats: RouteStats::default(),
+        }
+    }
+
+    pub(crate) fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    pub(crate) fn stats(&self) -> RouteStats {
+        self.stats
+    }
+
+    /// The tenant's home gateway: first ring point at or after its hash.
+    pub(crate) fn home(&self, tenant: usize) -> usize {
+        let h = mix64(tenant as u64 ^ 0x517C_C1B7_2722_0A95);
+        let i = self.ring.partition_point(|&(p, _)| p < h);
+        self.ring[i % self.ring.len()].1
+    }
+
+    /// Picks the gateway one submission of `tenant` (running net `net`,
+    /// whose cold reload costs `penalty` cycles) is steered to first.
+    /// `loads[g]` is gateway `g`'s modelled backlog in cycles.
+    pub(crate) fn choose(
+        &mut self,
+        tenant: usize,
+        net: usize,
+        penalty: u64,
+        loads: &[u64],
+    ) -> usize {
+        let n = loads.len();
+        debug_assert!(n > 0);
+        match self.policy {
+            RoutePolicy::RoundRobin => {
+                let g = self.rr_next % n;
+                self.rr_next = (self.rr_next + 1) % n;
+                g
+            }
+            RoutePolicy::WeightCacheAware => {
+                let home = self.home(tenant);
+                (0..n)
+                    .min_by_key(|&g| {
+                        let miss = u64::from(!self.resident[g].contains(net)) * penalty;
+                        (loads[g] + miss, (g + n - home) % n, g)
+                    })
+                    .expect("at least one gateway")
+            }
+        }
+    }
+
+    /// Records that a submission of net `net` actually landed on
+    /// gateway `g` (after any shed cascade), updating the residency
+    /// model (capacity `cap` program slots) and the hit/miss counters.
+    /// Runs for every policy, so modelled miss cycles are comparable
+    /// across policies in the fig_cluster bench.
+    pub(crate) fn note(&mut self, g: usize, net: usize, penalty: u64, cap: usize) {
+        if self.resident[g].touch(net, cap) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            self.stats.miss_cycles += penalty;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut r = Router::new(RoutePolicy::RoundRobin, 3);
+        let picks: Vec<usize> = (0..5).map(|_| r.choose(0, 0, 100, &[0, 0, 0])).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn homes_are_deterministic_and_spread() {
+        let r = Router::new(RoutePolicy::WeightCacheAware, 4);
+        let homes: Vec<usize> = (0..64).map(|t| r.home(t)).collect();
+        let again: Vec<usize> = (0..64).map(|t| r.home(t)).collect();
+        assert_eq!(homes, again);
+        for g in 0..4 {
+            assert!(homes.contains(&g), "gateway {g} never a home over 64 tenants");
+        }
+    }
+
+    #[test]
+    fn warm_gateway_wins_until_backlog_exceeds_reload() {
+        let mut r = Router::new(RoutePolicy::WeightCacheAware, 2);
+        let first = r.choose(7, 0, 1_000, &[0, 0]);
+        r.note(first, 0, 1_000, 8);
+        let other = 1 - first;
+        // Balanced fleet: stick to the warm gateway.
+        assert_eq!(r.choose(7, 0, 1_000, &[0, 0]), first);
+        // Backlog below the reload penalty: still cheaper to stay warm.
+        let mut loads = [0u64; 2];
+        loads[first] = 999;
+        assert_eq!(r.choose(7, 0, 1_000, &loads), first);
+        // Backlog past the penalty: migrating beats re-streaming... by
+        // enough that the cold charge no longer saves the warm gateway.
+        loads[first] = 2_000;
+        assert_eq!(r.choose(7, 0, 1_000, &loads), other);
+    }
+
+    #[test]
+    fn residency_is_lru_bounded() {
+        let mut res = Residency::default();
+        for net in 0..3 {
+            res.touch(net, 2);
+        }
+        assert!(!res.contains(0), "capacity 2 evicts the oldest");
+        assert!(res.contains(1) && res.contains(2));
+        assert!(res.touch(1, 2), "re-touch is a hit");
+    }
+
+    #[test]
+    fn note_accumulates_modelled_miss_cycles() {
+        let mut r = Router::new(RoutePolicy::RoundRobin, 2);
+        r.note(0, 0, 500, 4);
+        r.note(0, 0, 500, 4);
+        r.note(1, 0, 500, 4);
+        let s = r.stats();
+        assert_eq!((s.hits, s.misses, s.miss_cycles), (1, 2, 1_000));
+    }
+}

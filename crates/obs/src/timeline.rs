@@ -510,6 +510,40 @@ fn renumber(key: &str, core_offset: usize, tenant_offset: usize) -> String {
     key.to_owned()
 }
 
+/// Sorted union of two strictly-increasing cycle axes — the common grid
+/// a fleet merge aligns both series onto.
+fn union_cycles(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    i += 1;
+                    if x == y {
+                        j += 1;
+                    }
+                    x
+                } else {
+                    j += 1;
+                    y
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!(),
+        };
+        out.push(next);
+    }
+    out
+}
+
 impl TimeSeries {
     /// Number of frames.
     #[must_use]
@@ -575,13 +609,15 @@ impl TimeSeries {
     /// and `tenantN.*` column groups of `other` are appended (renumbered
     /// past this series' groups), every other column is summed
     /// element-wise, drop counts add, and the earlier violation (by
-    /// cycle) is kept. Cycle axes must agree on the overlapping prefix;
-    /// the shorter series' columns are zero-padded.
+    /// cycle) is kept. The cycle axes are union-aligned: a frame one
+    /// series lacks (its gateway was idle-skipped at that boundary, or
+    /// it simply stopped earlier) contributes zero to all of its columns
+    /// — correct because delta columns really are zero over a skipped
+    /// window and the gauges of an idle gateway really are zero.
     ///
     /// # Errors
     ///
-    /// Returns a message on interval/clock mismatch or diverging cycle
-    /// axes.
+    /// Returns a message on interval/clock mismatch.
     pub fn merge(&self, other: &TimeSeries) -> Result<TimeSeries, String> {
         if self.interval != other.interval {
             return Err(format!(
@@ -592,33 +628,36 @@ impl TimeSeries {
         if self.clock_hz != other.clock_hz {
             return Err(format!("clock mismatch: {} vs {} Hz", self.clock_hz, other.clock_hz));
         }
-        let overlap = self.cycles.len().min(other.cycles.len());
-        if self.cycles[..overlap] != other.cycles[..overlap] {
-            return Err("cycle axes diverge over the overlapping prefix".to_owned());
-        }
-        let cycles =
-            if self.cycles.len() >= other.cycles.len() { &self.cycles } else { &other.cycles };
+        let cycles = union_cycles(&self.cycles, &other.cycles);
         let n = cycles.len();
-        let pad = |v: &[u64]| {
-            let mut v = v.to_vec();
-            v.resize(n, 0);
-            v
+        // Scatter a source column onto the union axis: frames the source
+        // sampled land on their cycle, everything else stays zero.
+        let align = |src: &[u64], v: &[u64]| {
+            let mut out = vec![0u64; n];
+            let mut j = 0usize;
+            for (slot, &c) in out.iter_mut().zip(&cycles) {
+                if j < src.len() && src[j] == c {
+                    *slot = v[j];
+                    j += 1;
+                }
+            }
+            out
         };
         let mut columns: BTreeMap<String, Vec<u64>> = BTreeMap::new();
         for (k, v) in &self.columns {
-            columns.insert(k.clone(), pad(v));
+            columns.insert(k.clone(), align(&self.cycles, v));
         }
         let (core_off, tenant_off) = (self.cores(), self.tenants());
         for (k, v) in &other.columns {
             let key = renumber(k, core_off, tenant_off);
             match columns.get_mut(&key) {
                 Some(dst) => {
-                    for (d, s) in dst.iter_mut().zip(pad(v)) {
+                    for (d, s) in dst.iter_mut().zip(align(&other.cycles, v)) {
                         *d += s;
                     }
                 }
                 None => {
-                    columns.insert(key, pad(v));
+                    columns.insert(key, align(&other.cycles, v));
                 }
             }
         }
@@ -634,7 +673,7 @@ impl TimeSeries {
             interval: self.interval,
             dropped: self.dropped + other.dropped,
             lanes,
-            cycles: cycles.clone(),
+            cycles,
             columns,
             violation,
         })
@@ -961,6 +1000,26 @@ mod tests {
         let merged = a.series("a", 1).merge(&b.series("b", 1)).expect("merge");
         assert_eq!(merged.cycles, vec![100, 200]);
         assert_eq!(merged.column("core1.busy"), Some(&[10, 0][..]));
+    }
+
+    #[test]
+    fn merge_union_aligns_diverging_cycle_axes() {
+        // Gateway a sampled boundaries 100 and 300; gateway b was
+        // idle-skipped at 300 but awake at 200 and 400. The fleet view
+        // covers the union grid with zeros where a gateway was absent.
+        let mut a = Sampler::new(100, 8);
+        a.record(obs(100, 40, 0, 0, 1));
+        a.record(obs(300, 90, 0, 0, 2));
+        let mut b = Sampler::new(100, 8);
+        b.record(obs(200, 10, 3, 0, 1));
+        b.record(obs(400, 20, 1, 0, 1));
+        let merged = a.series("a", 1).merge(&b.series("b", 1)).expect("merge");
+        assert_eq!(merged.cycles, vec![100, 200, 300, 400]);
+        assert_eq!(merged.column("core0.busy"), Some(&[40, 0, 50, 0][..]));
+        assert_eq!(merged.column("core1.busy"), Some(&[0, 10, 0, 10][..]));
+        assert_eq!(merged.column("tenant2.queue_depth"), Some(&[0, 3, 0, 1][..]));
+        let completed: u64 = merged.column("tenant0.completed").unwrap().iter().sum();
+        assert_eq!(completed, 2, "delta sums survive the re-gridding");
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub mod sched;
 
 pub use runtime::{DeadlineRecord, JobHandle, Node, NodeContext, NodeId, Runtime, RuntimeReport};
 pub use sched::{
-    Admission, DropPolicy, RejectReason, SchedCompletion, SchedJob, SchedPolicy, ScheduledEngine,
-    Scheduler, TaskId, TaskSpec, TaskStats,
+    reload_penalty, Admission, DropPolicy, RejectReason, SchedCompletion, SchedJob, SchedPolicy,
+    ScheduledEngine, Scheduler, TaskId, TaskSpec, TaskStats,
 };
 
 pub use inca_accel::{AccelConfig, InterruptStrategy};

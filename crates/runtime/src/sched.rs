@@ -314,6 +314,16 @@ pub struct Scheduler {
     host_prof: Option<HostProf>,
 }
 
+/// Modelled cost, in cycles, of re-DMAing `program`'s instruction stream
+/// into a task slot: the charge a [`Scheduler`] applies when a binding
+/// changes the slot's resident program, and the weight-cache miss
+/// penalty a cluster router charges when steering a tenant to a gateway
+/// where its program is not resident.
+#[must_use]
+pub fn reload_penalty(cfg: &AccelConfig, program: &Program) -> u64 {
+    cfg.dma_cycles((program.instrs.len() * RECORD_BYTES) as u64)
+}
+
 impl Scheduler {
     /// Creates a scheduler for engines configured with `cfg`, using
     /// `policy`. Admission control, slot-0 reservation and reload charging
@@ -728,8 +738,7 @@ impl Scheduler {
             self.loaded[slot.index()] = Some(task);
             self.reloads += 1;
             if self.charge_reload {
-                let bytes = (self.tasks[idx].spec.program.instrs.len() * RECORD_BYTES) as u64;
-                reload = self.cfg.dma_cycles(bytes);
+                reload = reload_penalty(&self.cfg, &self.tasks[idx].spec.program);
             }
         }
         // The context's DDR image follows the task across slots even when

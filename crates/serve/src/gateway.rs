@@ -11,7 +11,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
-use inca_accel::{AdvanceMode, AdvanceStats, Backend, CoreId, CorePool, JobRecord, SimError};
+use inca_accel::{
+    AdvanceMode, AdvanceStats, Backend, CoreId, CorePool, Engine, JobRecord, SimError, WakeHeap,
+};
 use inca_obs::analyze::SloSpec;
 use inca_obs::{
     request_detail, request_span_id, span_id, CoreObs, FlightRecorder, HostComponent, HostProf,
@@ -105,6 +107,10 @@ pub struct Gateway<B: Backend> {
     /// Pending flushes: `(cycle, net, generation)`, earliest first.
     flushes: BinaryHeap<Reverse<(u64, usize, u64)>>,
     placer: Placer,
+    /// Cores eligible for new placements (`cores [0, active_cores)`).
+    /// Parked cores — the shrink half of elastic scaling — still advance
+    /// and drain their queues; they just receive no new work.
+    active_cores: usize,
     batch_window: u64,
     max_batch: usize,
     now: u64,
@@ -123,6 +129,10 @@ pub struct Gateway<B: Backend> {
     mode: AdvanceMode,
     /// Event-engine work counters (barriers, wakes, skips).
     stats: AdvanceStats,
+    /// Serving wake heap: cores armed by hard submits, batch-flush
+    /// dispatches and still-busy re-arms, so an event-driven barrier
+    /// visits O(armed) cores instead of scanning all of them.
+    wake: WakeHeap,
     /// Cycle-domain timeline sampler (None = timeline disabled).
     sampler: Option<Sampler>,
 }
@@ -147,6 +157,13 @@ impl<B: Backend> Gateway<B> {
             pool.core_mut(id).set_span_core(id.0 as u32);
         }
         let n = scheds.len();
+        // A pre-configured pool may arrive with work already queued.
+        let mut wake = WakeHeap::new(n);
+        for i in 0..n {
+            if let Some(t) = pool.core(CoreId(i)).next_event() {
+                wake.arm(i, t);
+            }
+        }
         Self {
             pool,
             scheds,
@@ -158,6 +175,7 @@ impl<B: Backend> Gateway<B> {
             nets: Vec::new(),
             flushes: BinaryHeap::new(),
             placer: Placer::new(place_policy),
+            active_cores: n,
             batch_window: DEFAULT_BATCH_WINDOW,
             max_batch: DEFAULT_MAX_BATCH,
             now: 0,
@@ -171,6 +189,7 @@ impl<B: Backend> Gateway<B> {
             host_prof: None,
             mode: AdvanceMode::default(),
             stats: AdvanceStats::default(),
+            wake,
             sampler: None,
         }
     }
@@ -183,6 +202,17 @@ impl<B: Backend> Gateway<B> {
     /// responses, traces, metrics and spans.
     pub fn set_advance_mode(&mut self, mode: AdvanceMode) {
         self.mode = mode;
+        if mode == AdvanceMode::EventDriven {
+            // A gateway driven in legacy mode for a while resumes
+            // event-driven safely: re-arm every core that still has work.
+            for i in 0..self.scheds.len() {
+                if self.scheds[i].outstanding() > 0
+                    || self.pool.core(CoreId(i)).next_event().is_some()
+                {
+                    self.wake.arm(i, self.now);
+                }
+            }
+        }
     }
 
     /// The advance mode in effect.
@@ -376,8 +406,14 @@ impl<B: Backend> Gateway<B> {
 
     /// The core pool, mutable. Reserved for setup (context images,
     /// tracers); mutating engine state mid-serve voids determinism.
+    /// Mutable access can inject engine work behind the gateway's back,
+    /// so every core is conservatively armed; the next barrier
+    /// revalidates and skips still-quiescent cores for free.
     #[must_use]
     pub fn pool_mut(&mut self) -> &mut CorePool<B> {
+        for i in 0..self.scheds.len() {
+            self.wake.arm(i, 0);
+        }
         &mut self.pool
     }
 
@@ -428,6 +464,76 @@ impl<B: Backend> Gateway<B> {
         self.tenants.len()
     }
 
+    /// Cores eligible for new placements. Equals the pool size unless
+    /// the gateway was shrunk via [`Gateway::set_active_cores`].
+    #[must_use]
+    pub fn active_cores(&self) -> usize {
+        self.active_cores
+    }
+
+    /// Sets the placement-eligible core prefix to `cores [0, n)` —
+    /// elastic scaling's shrink (park) and un-shrink (unpark) hook,
+    /// clamped to `[1, pool size]`. Parked cores keep advancing and
+    /// drain whatever was already placed on them (so no admitted
+    /// request is lost), they just receive no new work; a sticky
+    /// tenant-affinity placement pointing at a parked core is re-placed
+    /// on first use. Purely cycle-domain state, so resize decisions
+    /// driven from cycle-domain telemetry keep runs byte-identical
+    /// across advance modes and thread counts.
+    pub fn set_active_cores(&mut self, n: usize) {
+        self.active_cores = n.clamp(1, self.scheds.len());
+    }
+
+    /// Appends one core to the gateway mid-run — elastic scaling's grow
+    /// hook. The engine (pre-configured by the caller: context images
+    /// installed, same config/strategy as its siblings) joins the pool,
+    /// gets a scheduler with every registered tenant re-registered in
+    /// the same order (so tenant/task indices — and therefore backend
+    /// rebind context ids — stay aligned pool-wide), inherits the
+    /// gateway tracer/profiler, and becomes placement-eligible
+    /// immediately. Existing cores' state is untouched, so growth never
+    /// perturbs determinism of work already in flight.
+    pub fn add_core(&mut self, mut engine: Engine<B>) -> CoreId {
+        let idx = self.scheds.len();
+        engine.set_span_core(idx as u32);
+        engine.set_tracer(self.tracer.clone());
+        engine.set_host_prof(self.host_prof.clone());
+        let policy = self.scheds.first().map_or(SchedPolicy::FixedPriority, Scheduler::policy);
+        let mut sched = Scheduler::new(*engine.config(), policy);
+        sched.set_span_core(idx as u32);
+        sched.set_tracer(self.tracer.clone());
+        sched.set_host_prof(self.host_prof.clone());
+        for (i, entry) in self.tenants.iter().enumerate() {
+            let spec = &entry.spec;
+            let mut task = TaskSpec::new(spec.name.clone(), Arc::clone(&spec.program))
+                .priority(spec.slot_priority())
+                .queue(spec.max_outstanding, DropPolicy::Reject);
+            if spec.lane == Lane::Hard {
+                if let Some(d) = spec.relative_deadline {
+                    task = task.deadline(d);
+                }
+            }
+            let tid = sched.register(task);
+            debug_assert_eq!(tid.index(), i, "tenant/task indices stay aligned on grown cores");
+        }
+        let id = self.pool.push_core(engine);
+        debug_assert_eq!(id.0, idx, "pool and scheduler vectors stay aligned");
+        self.scheds.push(sched);
+        self.consumed.push(0);
+        self.inflight.push(HashMap::new());
+        let wake_idx = self.wake.add_component();
+        debug_assert_eq!(wake_idx, idx, "gateway wake heap stays aligned");
+        if self.pool.core(id).next_event().is_some() {
+            self.wake.arm(idx, self.now);
+        }
+        // A previously shrunk gateway growing again activates the new
+        // core; an un-shrunk one simply extends its active prefix.
+        if self.active_cores == idx {
+            self.active_cores = idx + 1;
+        }
+        id
+    }
+
     /// A tenant's registered spec.
     #[must_use]
     pub fn spec(&self, tenant: TenantId) -> &TenantSpec {
@@ -461,6 +567,38 @@ impl<B: Backend> Gateway<B> {
     #[must_use]
     pub fn pending_batched(&self) -> usize {
         self.batches.iter().map(|b| b.entries.len()).sum()
+    }
+
+    /// Recalls up to `max` not-yet-dispatched batched requests — the
+    /// victim half of cross-gateway work stealing. Only best-effort
+    /// requests are recallable (the hard lane bypasses batching, and
+    /// work already dispatched to a core stays put). Entries leave
+    /// oldest-first, scanning networks in index order, and each one is
+    /// counted as `dropped` on this gateway: it exits this pipeline
+    /// here, and the thief re-submits it as a fresh request elsewhere,
+    /// so the per-tenant conservation laws hold on both sides. Returns
+    /// the recalled tenants in recall order.
+    pub fn recall_batched(&mut self, max: usize) -> Vec<TenantId> {
+        let mut out = Vec::new();
+        for net in 0..self.batches.len() {
+            while out.len() < max && !self.batches[net].entries.is_empty() {
+                let victim = self.batches[net].entries.remove(0);
+                if self.batches[net].entries.is_empty() {
+                    // Invalidate the pending flush for the emptied buffer.
+                    self.batches[net].generation += 1;
+                }
+                self.tenants[victim.tenant.0].stats.dropped += 1;
+                self.trace_milestone(
+                    self.now,
+                    format!("serve.recall {} {}", victim.tenant, victim.request),
+                );
+                out.push(victim.tenant);
+            }
+            if out.len() >= max {
+                break;
+            }
+        }
+        out
     }
 
     /// Submits one request of `tenant` at cycle `now` (the gateway clock
@@ -556,6 +694,7 @@ impl<B: Backend> Gateway<B> {
             Ok(adm) => {
                 let request = self.next_request_id();
                 self.tenants[tenant.0].stats.admitted += 1;
+                self.wake.arm(core.0, now);
                 self.inflight[core.0].insert(
                     adm.job.raw(),
                     InflightMeta {
@@ -616,7 +755,7 @@ impl<B: Backend> Gateway<B> {
     }
 
     fn place(&mut self, tenant: TenantId) -> CoreId {
-        let backlogs: Vec<u64> = (0..self.scheds.len()).map(|c| self.backlog(c)).collect();
+        let backlogs: Vec<u64> = (0..self.active_cores).map(|c| self.backlog(c)).collect();
         self.placer.place(tenant.0, backlogs.len(), |c| backlogs[c])
     }
 
@@ -631,6 +770,7 @@ impl<B: Backend> Gateway<B> {
         let size = entries.len() as u32;
         self.batches_dispatched += 1;
         self.batched_requests += u64::from(size);
+        self.wake.arm(core.0, now);
         self.trace_milestone(now, format!("serve.flush net{net} x{size} {core}"));
         for e in entries {
             let task = self.task_ids[e.tenant.0];
@@ -745,27 +885,45 @@ impl<B: Backend> Gateway<B> {
         self.advance_all(deadline)
     }
 
-    /// Advances every core to `barrier`. Event-driven mode skips cores
-    /// whose advance is provably a state no-op: the scheduler has nothing
-    /// outstanding (so its pump cannot bind, and token accrual — which
-    /// only touches tasks with queued jobs — cannot move) and the engine
-    /// reports no next event (so `run_until` returns without touching
-    /// its clock). Everything else matches the stepping loop exactly,
-    /// including visiting cores in ascending core order so merged trace
-    /// streams stay byte-identical.
+    /// Advances every core to `barrier`. Event-driven mode visits only
+    /// *armed* cores — armed by a hard-lane placement, a batch-flush
+    /// dispatch, external pool access, or a still-busy re-arm after the
+    /// previous barrier — so a barrier costs O(armed), not O(cores).
+    /// Arms are conservative: a drained core revalidates against the
+    /// exact quiescence predicate (the scheduler has nothing outstanding,
+    /// so its pump cannot bind and token accrual — which only touches
+    /// tasks with queued jobs — cannot move; and the engine reports no
+    /// next event, so `run_until` returns without touching its clock)
+    /// and is skipped when its advance is provably a state no-op.
+    /// Everything else matches the stepping loop exactly, including
+    /// visiting cores in ascending core order so merged trace streams
+    /// stay byte-identical.
     fn advance_all(&mut self, barrier: u64) -> Result<(), SimError> {
         self.stats.barriers += 1;
-        for core in 0..self.scheds.len() {
-            if self.mode == AdvanceMode::EventDriven
-                && self.scheds[core].outstanding() == 0
+        if self.mode == AdvanceMode::Stepping {
+            self.stats.wakes += self.scheds.len() as u64;
+            for core in 0..self.scheds.len() {
+                self.advance_core(core, barrier)?;
+            }
+            return Ok(());
+        }
+        let mut ticked = 0u64;
+        for core in self.wake.drain_armed() {
+            if self.scheds[core].outstanding() == 0
                 && self.pool.core(CoreId(core)).next_event().is_none()
             {
-                self.stats.skips += 1;
                 continue;
             }
-            self.stats.wakes += 1;
+            ticked += 1;
             self.advance_core(core, barrier)?;
+            if self.scheds[core].outstanding() > 0
+                || self.pool.core(CoreId(core)).next_event().is_some()
+            {
+                self.wake.arm(core, barrier);
+            }
         }
+        self.stats.wakes += ticked;
+        self.stats.skips += self.scheds.len() as u64 - ticked;
         Ok(())
     }
 

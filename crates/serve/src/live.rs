@@ -141,9 +141,17 @@ impl LiveSnapshot {
     pub fn render(&self, width: usize) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        // Ring-overflow accounting rides in the header whenever the
+        // timeline is on: a nonzero drop count means the sparklines
+        // below cover an incomplete series and must not be read as the
+        // whole run.
+        let dropped = self
+            .timeline
+            .as_ref()
+            .map_or_else(String::new, |ts| format!("  dropped {}", ts.dropped));
         let _ = writeln!(
             out,
-            "cycle {:>12}  done {}  miss {}  shed {}  outstanding {}",
+            "cycle {:>12}  done {}  miss {}  shed {}  outstanding {}{dropped}",
             self.now,
             self.totals.completed,
             self.totals.deadline_missed,

@@ -67,12 +67,15 @@ impl Placer {
             }
             PlacePolicy::LeastLoaded => least_loaded(cores, backlog),
             PlacePolicy::TenantAffinity => {
-                if let Some(c) = self.affinity[tenant] {
-                    c
-                } else {
-                    let c = least_loaded(cores, backlog);
-                    self.affinity[tenant] = Some(c);
-                    c
+                // A sticky placement pointing past the active-core prefix
+                // (the core was parked by an elastic shrink) is re-placed.
+                match self.affinity[tenant] {
+                    Some(c) if c.0 < cores => c,
+                    _ => {
+                        let c = least_loaded(cores, backlog);
+                        self.affinity[tenant] = Some(c);
+                        c
+                    }
                 }
             }
         }

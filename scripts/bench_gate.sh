@@ -11,15 +11,15 @@
 #
 #   scripts/bench_gate.sh             # full gate: func + func_tiers + sched
 #                                     #   + serve + dslam + spans + event +
-#                                     #   timeline, plus the tier-1 MobileNet
-#                                     #   speedup floor (>= 5x) and the
-#                                     #   event-engine fleet speedup floor
+#                                     #   timeline + cluster, plus the tier-1
+#                                     #   MobileNet speedup floor (>= 5x) and
+#                                     #   the event-engine fleet speedup floor
 #                                     #   (>= 10x)
 #   scripts/bench_gate.sh --quick     # deterministic bins only (func_tiers +
 #                                     #   sched + serve + dslam + spans +
-#                                     #   event + timeline): skips perf_smoke,
-#                                     #   whose wall-clock throughput needs a
-#                                     #   quiet machine
+#                                     #   event + timeline + cluster): skips
+#                                     #   perf_smoke, whose wall-clock
+#                                     #   throughput needs a quiet machine
 #   scripts/bench_gate.sh --refresh   # regenerate the committed baselines
 #                                     #   (rerun after an intentional perf or
 #                                     #   metrics change, then commit)
@@ -42,7 +42,8 @@ gates() {
             "dslam BENCH_dslam.json fig_dslam_mission" \
             "spans BENCH_spans.json spans" \
             "event BENCH_event.json fig_event_engine" \
-            "timeline BENCH_timeline.json timeline" ;;
+            "timeline BENCH_timeline.json timeline" \
+            "cluster BENCH_cluster.json fig_cluster" ;;
         *) printf '%s\n' \
             "func BENCH_func.json perf_smoke" \
             "func_tiers BENCH_func_tiers.json fig_func_tiers" \
@@ -51,7 +52,8 @@ gates() {
             "dslam BENCH_dslam.json fig_dslam_mission" \
             "spans BENCH_spans.json spans" \
             "event BENCH_event.json fig_event_engine" \
-            "timeline BENCH_timeline.json timeline" ;;
+            "timeline BENCH_timeline.json timeline" \
+            "cluster BENCH_cluster.json fig_cluster" ;;
     esac
 }
 
@@ -257,6 +259,24 @@ if spike["timeline.recorder.tripped"] != 1:
 print(f"bench gate selftest: injected spike tripped the flight recorder "
       f"({spike['timeline.frames']} frames sampled) ok")
 EOF
+        # Fixture 8: a fresh fig_cluster snapshot with the weight-cache-
+        # aware router's win erased — its reload count bumped past the
+        # round-robin column and the hard-lane p99 doubled. Cycle-domain
+        # counters compare exactly, so the gate must trip on both.
+        run_bin fig_cluster
+        python3 - "$tmp/fig_cluster.json" "$tmp/cluster_cold.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+c = snap["counters"]
+c["cluster.wca.reloads"] = c["cluster.rr.reloads"] + 1
+c["cluster.wca.hard_p99"] *= 2
+json.dump(snap, open(sys.argv[2], "w"), separators=(",", ":"))
+EOF
+        ./target/release/inca-analyze --gate "$tmp/fig_cluster.json" "$tmp/fig_cluster.json"
+        if ./target/release/inca-analyze --gate "$tmp/fig_cluster.json" "$tmp/cluster_cold.json"; then
+            echo "bench gate selftest: FAILED — cluster routing regression was not flagged" >&2
+            exit 1
+        fi
         echo "bench gate selftest: ok (identity passes, injected regressions trip)"
         ;;
     full|--quick)

@@ -20,6 +20,9 @@
 //! * [`serve`] — multi-core inference serving gateway: priority lanes,
 //!   same-network batching, deadline-aware admission, pluggable
 //!   placement, bounded-backpressure frontends;
+//! * [`cluster`] — the fleet layer over [`serve`]: weight-cache-aware
+//!   routing, shed cascades, cross-gateway work stealing and elastic
+//!   core-pool scaling across many gateways on one virtual clock;
 //! * [`obs`] — deterministic cycle-accurate tracing + metrics with
 //!   Perfetto/Chrome-trace, JSON and ASCII exporters;
 //! * [`dslam`] — the two-agent distributed-SLAM evaluation application.
@@ -57,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub use inca_accel as accel;
+pub use inca_cluster as cluster;
 pub use inca_compiler as compiler;
 pub use inca_dslam as dslam;
 pub use inca_isa as isa;

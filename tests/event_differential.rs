@@ -296,9 +296,10 @@ fn gateway_run(
 #[test]
 fn gateway_runs_are_byte_identical_across_modes() {
     for strategy in STRATEGIES {
+        let mut ev_by_cores = Vec::new();
         for cores in [2usize, 4] {
             let (ev, ev_stats) = gateway_run(strategy, cores, AdvanceMode::EventDriven);
-            let (st, _) = gateway_run(strategy, cores, AdvanceMode::Stepping);
+            let (st, st_stats) = gateway_run(strategy, cores, AdvanceMode::Stepping);
             assert_eq!(ev, st, "{strategy}/{cores}c: served runs diverge across modes");
             assert!(!ev.trace.is_empty(), "{strategy}/{cores}c: gateway emits trace events");
             assert!(
@@ -306,7 +307,24 @@ fn gateway_runs_are_byte_identical_across_modes() {
                 "{strategy}/{cores}c: an event-driven gateway must skip quiescent cores, \
                  got {ev_stats:?}"
             );
+            // The serving wake-heap accounts for every core at every
+            // barrier: visited (armed and non-quiescent) or skipped.
+            assert_eq!(
+                ev_stats.wakes + ev_stats.skips,
+                ev_stats.barriers * cores as u64,
+                "{strategy}/{cores}c: wake-heap barrier accounting is exact"
+            );
+            assert_eq!(st_stats.skips, 0, "{strategy}/{cores}c: stepping never skips");
+            ev_by_cores.push(ev_stats);
         }
+        // Wake-heap barriers are O(armed), not O(cores): growing the pool
+        // with capacity the workload does not arm improves skips instead
+        // of costing full-pool scans.
+        let (ev2, ev4) = (ev_by_cores[0], ev_by_cores[1]);
+        assert!(
+            ev4.skips > ev2.skips,
+            "{strategy}: idle capacity must convert to skips (2c {ev2:?} vs 4c {ev4:?})"
+        );
     }
 }
 
